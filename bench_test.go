@@ -1,0 +1,83 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment harness
+// end-to-end (simulation-backed figures use shortened runs; the full-length
+// versions are exercised by `neofog-sim -exp all` and the test suite).
+// Component-level and ablation benchmarks live in the internal packages.
+package neofog_test
+
+import (
+	"testing"
+
+	"neofog"
+	"neofog/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string, rounds int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := neofog.RunExperiment(id, neofog.ExperimentOptions{Seed: 1, Rounds: rounds})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty experiment output")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1", 0) }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2", 0) }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4", 0) }
+func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6", 0) }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7", 0) }
+func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "fig9", 300) }
+func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "fig10", 300) }
+func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "fig11", 300) }
+func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "fig12", 300) }
+func BenchmarkFig13(b *testing.B)    { benchExperiment(b, "fig13", 300) }
+func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline", 300) }
+
+// BenchmarkSimulateNEOFog measures the system simulator's throughput on
+// the standard 10-node, 5-hour deployment.
+func BenchmarkSimulateNEOFog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := neofog.Simulate(neofog.SimulationConfig{Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalProcessed() == 0 {
+			b.Fatal("degenerate run")
+		}
+	}
+}
+
+// BenchmarkSimulateLargeFleet runs the 100-node inter-chain scale the
+// paper's simulator targets (reduced rounds to keep the benchmark honest
+// but bounded).
+func BenchmarkSimulateLargeFleet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := neofog.Simulate(neofog.SimulationConfig{
+			Nodes:  100,
+			Rounds: 300,
+			Seed:   int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+// BenchmarkFigPacketsFull is the full-length Fig. 10 regeneration (5
+// profiles × 3 systems × 1500 rounds), for tracking the cost of the
+// heaviest published artifact.
+func BenchmarkFigPacketsFull(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full-length")
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig10Independent(experiments.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Command neofog-isa assembles and runs a program on the 8051-subset
+// instruction-set simulator, optionally under an intermittent power
+// supply with NVP checkpoint/restore — the node-level simulator core of
+// the paper's methodology (§4), runnable standalone.
+//
+// Usage:
+//
+//	neofog-isa prog.asm                  # run to halt, print state
+//	neofog-isa -burst 20 prog.asm        # die every ~20 cycles, NVP-style
+//	neofog-isa -burst 20 -vp prog.asm    # same supply on a volatile core
+//	neofog-isa -dump 0:16 prog.asm       # show XRAM[0..16) afterwards
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"neofog/internal/isa"
+)
+
+func main() {
+	var (
+		burst     = flag.Int("burst", 0, "mean power-on burst in machine cycles (0 = stable power)")
+		vp        = flag.Bool("vp", false, "volatile core: power failures wipe all state")
+		seed      = flag.Int64("seed", 1, "random seed for the burst schedule")
+		maxCycles = flag.Uint64("max", 10_000_000, "cycle budget before giving up")
+		dump      = flag.String("dump", "0:16", "XRAM range to print, start:end")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: neofog-isa [flags] prog.asm")
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	core, err := isa.New(prog)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("assembled %d bytes\n", len(prog))
+
+	switch {
+	case *burst <= 0:
+		if _, err := core.Run(*maxCycles); err != nil {
+			fatal(err)
+		}
+	case *vp:
+		rng := rand.New(rand.NewSource(*seed))
+		restarts := 0
+		for core.Cycles < *maxCycles && !core.Halted {
+			b := uint64(rng.Intn(*burst*2) + 1)
+			if _, err := core.Run(b); err != nil {
+				fatal(err)
+			}
+			if !core.Halted {
+				core.PowerCycle()
+				restarts++
+			}
+		}
+		fmt.Printf("volatile core: %d restarts\n", restarts)
+	default:
+		rng := rand.New(rand.NewSource(*seed))
+		var bursts []uint64
+		for total := uint64(0); total < *maxCycles; {
+			b := uint64(rng.Intn(*burst*2) + 1)
+			bursts = append(bursts, b)
+			total += b
+		}
+		done, failures, err := core.RunIntermittent(bursts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("NVP core: survived %d power failures, completed=%v\n", failures, done)
+	}
+
+	fmt.Printf("halted=%v cycles=%d insts=%d CPI=%.2f\n",
+		core.Halted, core.Cycles, core.Insts, float64(core.Cycles)/float64(max(core.Insts, 1)))
+	fmt.Printf("ACC=%02X B=%02X PSW=%02X SP=%02X DPTR=%04X PC=%04X\n",
+		core.ACC, core.B, core.PSW, core.SP, core.DPTR, core.PC)
+
+	lo, hi, err := parseRange(*dump)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("XRAM[%#x:%#x]: % X\n", lo, hi, core.XRAM[lo:hi])
+}
+
+func parseRange(s string) (int, int, error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad range %q (want start:end)", s)
+	}
+	lo, err := strconv.ParseInt(parts[0], 0, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	hi, err := strconv.ParseInt(parts[1], 0, 32)
+	if err != nil {
+		return 0, 0, err
+	}
+	if lo < 0 || hi <= lo || hi > isa.XRAMSize {
+		return 0, 0, fmt.Errorf("range %q out of bounds", s)
+	}
+	return int(lo), int(hi), nil
+}
+
+func max(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "neofog-isa:", err)
+	os.Exit(1)
+}

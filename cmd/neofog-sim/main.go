@@ -1,0 +1,128 @@
+// Command neofog-sim regenerates the paper's tables and figures, or runs a
+// custom deployment simulation.
+//
+// Usage:
+//
+//	neofog-sim -exp fig10                 # one experiment by ID
+//	neofog-sim -exp all                   # every experiment
+//	neofog-sim -list                      # list experiment IDs
+//	neofog-sim -system neofog -weather rainy -mux 3   # custom run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neofog"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID to run (or 'all'); see -list")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		seed    = flag.Int64("seed", 1, "random seed")
+		nodes   = flag.Int("nodes", 10, "logical chain nodes")
+		rounds  = flag.Int("rounds", 0, "RTC slots to simulate (0 = trace length, 1500)")
+		system  = flag.String("system", string(neofog.SystemNEOFog), "node system: nos-vp, nos-nvp, neofog")
+		balance = flag.String("balance", "", "load balancer: none, tree, distributed (default by system)")
+		weather = flag.String("weather", string(neofog.WeatherSunny), "income regime: sunny, overcast, rainy")
+		app     = flag.String("app", string(neofog.AppBridgeHealth), "application: bridge, uv, temp, accel, heartbeat")
+		mux     = flag.Int("mux", 1, "NVD4Q multiplexing factor (clones per logical node)")
+		corr    = flag.Bool("correlated", false, "use dependent (bridge-style) power traces")
+		peak    = flag.Float64("peak", 0, "solar panel peak in mW (0 = regime default)")
+		resume  = flag.Bool("resumable", false, "enable the incidental-computing extension")
+		chains  = flag.Int("chains", 1, "run this many independent chains concurrently and aggregate")
+		journal = flag.String("journal", "", "write a per-round JSONL journal to this file (custom runs)")
+		csvPath = flag.String("csv", "", "write experiment output as CSV to this file instead of text")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:", strings.Join(neofog.ExperimentIDs(), " "))
+		return
+	}
+
+	if *exp != "" {
+		ids := []string{*exp}
+		if *exp == "all" {
+			ids = neofog.ExperimentIDs()
+		}
+		opts := neofog.ExperimentOptions{Seed: *seed, Nodes: *nodes, Rounds: *rounds}
+		if *csvPath != "" {
+			if len(ids) != 1 {
+				fmt.Fprintln(os.Stderr, "neofog-sim: -csv needs exactly one experiment")
+				os.Exit(1)
+			}
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := neofog.RunExperimentCSV(ids[0], opts, f); err != nil {
+				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+			return
+		}
+		for _, id := range ids {
+			out, err := neofog.RunExperiment(id, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+				os.Exit(1)
+			}
+			fmt.Println(out)
+		}
+		return
+	}
+
+	cfg := neofog.SimulationConfig{
+		System:              neofog.System(*system),
+		Balancer:            neofog.Balancer(*balance),
+		Application:         neofog.Application(*app),
+		Nodes:               *nodes,
+		Rounds:              *rounds,
+		Weather:             neofog.Weather(*weather),
+		SolarPeakMilliwatts: *peak,
+		Correlated:          *corr,
+		Multiplexing:        *mux,
+		Resumable:           *resume,
+		Seed:                *seed,
+	}
+	if *journal != "" {
+		f, err := os.Create(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.Journal = f
+	}
+	var res neofog.SimulationResult
+	var err error
+	if *chains > 1 {
+		var fleet neofog.FleetResult
+		fleet, err = neofog.SimulateFleet(cfg, *chains)
+		res = fleet.Aggregate
+	} else {
+		res, err = neofog.Simulate(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("system=%s weather=%s nodes=%d mux=%d rounds=%d\n",
+		*system, *weather, *nodes, *mux, res.Rounds)
+	fmt.Printf("ideal packets:   %d\n", res.IdealPackets)
+	fmt.Printf("wakeups:         %d (failures %d)\n", res.Wakeups, res.WakeFailures)
+	fmt.Printf("fog processed:   %d\n", res.FogProcessed)
+	fmt.Printf("cloud processed: %d\n", res.CloudProcessed)
+	fmt.Printf("total processed: %d (%.1f%% of ideal)\n", res.TotalProcessed(),
+		100*float64(res.TotalProcessed())/float64(res.IdealPackets))
+	fmt.Printf("dropped:         %d\n", res.Dropped)
+	fmt.Printf("LB delegations:  %d\n", res.Moves)
+	fmt.Printf("orphan rejoins:  %d\n", res.Rejoins)
+}

@@ -1,0 +1,53 @@
+package neofog_test
+
+import (
+	"fmt"
+
+	"neofog"
+)
+
+// ExampleSimulate runs a small NEOFog deployment and prints its outcome.
+func ExampleSimulate() {
+	res, err := neofog.Simulate(neofog.SimulationConfig{
+		Nodes:  5,
+		Rounds: 50,
+		Seed:   42,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ideal packets:", res.IdealPackets)
+	fmt.Println("all processed in fog or cloud:",
+		res.TotalProcessed() == res.FogProcessed+res.CloudProcessed)
+	// Output:
+	// ideal packets: 250
+	// all processed in fog or cloud: true
+}
+
+// ExampleRunExperiment regenerates a paper artifact.
+func ExampleRunExperiment() {
+	out, err := neofog.RunExperiment("fig7", neofog.ExperimentOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(out) > 0)
+	// Output:
+	// true
+}
+
+// ExampleSimulateFleet aggregates several independent chains.
+func ExampleSimulateFleet() {
+	fleet, err := neofog.SimulateFleet(neofog.SimulationConfig{
+		Nodes:  4,
+		Rounds: 30,
+		Seed:   7,
+	}, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("chains:", len(fleet.PerChain))
+	fmt.Println("total nodes:", fleet.Aggregate.Nodes)
+	// Output:
+	// chains: 3
+	// total nodes: 12
+}

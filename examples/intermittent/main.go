@@ -1,0 +1,90 @@
+// Intermittent computing demo: the property that makes NV-motes possible.
+//
+// An 8051-class program (the paper's node simulator core) runs under a
+// hostile power supply that dies every few dozen machine cycles. The NVP
+// checkpoints its architectural state into nonvolatile flip-flops at each
+// failure and resumes on recovery; the volatile processor restarts from
+// reset and loses everything. Same silicon, same program, same power —
+// only nonvolatility separates completion from starvation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"neofog/internal/isa"
+)
+
+const program = `
+        MOV DPTR,#0
+        MOV R2,#64      ; sum 64 sensor bytes from NV memory
+        CLR A
+        MOV R3,A
+loop:   MOVX A,@DPTR
+        ADD A,R3
+        MOV R3,A
+        INC DPTR
+        DJNZ R2,loop
+        MOV DPTR,#0x100
+        MOV A,R3
+        MOVX @DPTR,A    ; result into NV memory
+        HALT
+`
+
+func newCore(data []byte) *isa.Core {
+	c, err := isa.New(isa.MustAssemble(program))
+	if err != nil {
+		log.Fatal(err)
+	}
+	copy(c.XRAM, data)
+	return c
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 64)
+	var want byte
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+		want += data[i]
+	}
+
+	// Reference: uninterrupted execution.
+	golden := newCore(data)
+	golden.Run(1_000_000)
+	fmt.Printf("uninterrupted run: result=%d in %d machine cycles\n",
+		golden.XRAM[0x100], golden.Cycles)
+	fmt.Printf("expected checksum: %d\n\n", want)
+
+	// Hostile supply: power bursts of 5–25 machine cycles.
+	var bursts []uint64
+	for total := uint64(0); total < 4*golden.Cycles; {
+		b := uint64(rng.Intn(21) + 5)
+		bursts = append(bursts, b)
+		total += b
+	}
+
+	// NVP: checkpoint at every failure, restore at every recovery.
+	nvp := newCore(data)
+	done, failures, err := nvp.RunIntermittent(bursts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("NVP under %d power failures: completed=%v result=%d (cycles %d — identical work)\n",
+		failures, done, nvp.XRAM[0x100], nvp.Cycles)
+
+	// VP: every failure wipes the volatile state.
+	vp := newCore(data)
+	restarts := 0
+	for _, b := range bursts {
+		vp.Run(b)
+		if vp.Halted {
+			break
+		}
+		vp.PowerCycle()
+		restarts++
+	}
+	fmt.Printf("VP  under the same supply: completed=%v after %d futile restarts\n",
+		vp.Halted, restarts)
+}

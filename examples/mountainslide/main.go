@@ -1,0 +1,61 @@
+// Mountain-slide monitoring: the §5.3 NVD4Q scenario. Solar nodes are
+// scattered by aerial dispersion; slides happen during heavy rain, when
+// income is at its worst. Naively adding nodes would inflate the Zigbee
+// hop count (Fig. 7), so NEOFog instead clones network identities: extra
+// physical nodes join an existing node's clone set, wake in round-robin
+// phase slots, and each accumulates energy k× longer.
+//
+// The example sweeps the multiplexing factor on a rainy day and shows the
+// QoS lift saturating around 3× — the paper's Fig. 13.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neofog"
+)
+
+func main() {
+	fmt.Println("Mountain-slide monitor — rainy day, 10 logical nodes, NVD4Q multiplexing")
+	fmt.Println()
+
+	cfg := neofog.SimulationConfig{
+		System:          neofog.SystemNEOFog,
+		Application:     neofog.AppAcceleration,
+		Nodes:           10,
+		Weather:         neofog.WeatherRainy,
+		Correlated:      true,
+		FogInstsPerByte: 800, // the lighter slide-detection kernel
+		Seed:            3,
+	}
+
+	// Reference: the traditional stack at baseline density.
+	vpCfg := cfg
+	vpCfg.System = neofog.SystemVP
+	vp, err := neofog.Simulate(vpCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-16s  physical=%2d  fog=%5d\n", "VP w/o LB", 10, vp.FogProcessed)
+
+	var base int
+	for mux := 1; mux <= 5; mux++ {
+		c := cfg
+		c.Multiplexing = mux
+		res, err := neofog.Simulate(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mux == 1 {
+			base = res.FogProcessed
+		}
+		fmt.Printf("NEOFog %d00%%      physical=%2d  fog=%5d  (%.2f× of 100%%)\n",
+			mux, 10*mux, res.FogProcessed, float64(res.FogProcessed)/float64(base))
+	}
+
+	fmt.Println()
+	fmt.Println("Physical clones share one NVRF-cloned network identity, so the")
+	fmt.Println("(virtual) topology — and the hop count — never changes. Gains")
+	fmt.Println("saturate once the sampling ceiling is reached, near 3×.")
+}

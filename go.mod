@@ -1,0 +1,3 @@
+module neofog
+
+go 1.24

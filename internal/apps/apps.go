@@ -1,0 +1,246 @@
+// Package apps defines the five energy-harvesting WSN applications the
+// paper measures (Tables 1 and 2): bridge health monitoring, the wearable
+// UV meter, temperature sensing, acceleration sensing, and heartbeat
+// pattern matching.
+//
+// Each application supports the two strategies of §5.1:
+//
+//   - naive sensing-computing-transmission: sample one record, run a small
+//     amount of local processing (the Inst. NO. column of Table 2), and
+//     transmit the raw record;
+//   - buffered sensing-buffering-computing-compression-transmission:
+//     accumulate a 64 kB NVBuffer, run the full fog pipeline (the
+//     cloud-offloaded kernels of §3.1), compress, and transmit the result.
+//
+// The naive costs reproduce Table 2 exactly from first principles; the
+// buffered costs are measured by actually running the dsp kernels and the
+// compressor on synthetic sensor streams.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neofog/internal/compress"
+	"neofog/internal/cpu"
+	"neofog/internal/dsp"
+	"neofog/internal/rf"
+	"neofog/internal/sensors"
+	"neofog/internal/units"
+)
+
+// BufferSize is the NVBuffer capacity the deployed systems use (§5.1).
+const BufferSize = 65536
+
+// Profile is the Table 1 deployment metadata of an application.
+type Profile struct {
+	EnergySource string
+	SensorsDesc  string
+	Topology     string
+	Transmitted  string
+}
+
+// App is one application workload.
+type App struct {
+	// Name matches Table 2's App column.
+	Name string
+	// Device is the sensing hardware cost model.
+	Device sensors.Device
+	// NewSource constructs the synthetic signal source.
+	NewSource func() sensors.Source
+	// NaiveInsts is the per-sample local processing of the naive strategy
+	// (Table 2's Inst. NO. column).
+	NaiveInsts int64
+	// Stride and DeltaOrder are the compressor parameters matched to the
+	// record layout.
+	Stride, DeltaOrder int
+	// Fog runs the cloud-offloaded analytics over a raw buffer, returning
+	// a small analytics payload and the kernel cost.
+	Fog func(raw []byte) ([]byte, dsp.Cost)
+	// Table1 is the deployment metadata.
+	Table1 Profile
+}
+
+// The five measured applications.
+func BridgeHealth() App {
+	return App{
+		Name:       "Bridge Health",
+		Device:     sensors.BridgeCable(),
+		NewSource:  func() sensors.Source { return &sensors.BridgeSource{} },
+		NaiveInsts: 545,
+		Stride:     8, DeltaOrder: 1,
+		Fog: bridgeFog,
+		Table1: Profile{
+			EnergySource: "Solar, Piezoelectric",
+			SensorsDesc:  "Accelerometers, piezo-sensors",
+			Topology:     "Zigbee Chain Mesh",
+			Transmitted:  "Raw sampled data",
+		},
+	}
+}
+
+func UVMeter() App {
+	return App{
+		Name:       "UV Meter",
+		Device:     sensors.UVSensor(),
+		NewSource:  func() sensors.Source { return &sensors.UVSource{} },
+		NaiveInsts: 460,
+		Stride:     2, DeltaOrder: 1,
+		Fog: uvFog,
+		Table1: Profile{
+			EnergySource: "Solar",
+			SensorsDesc:  "UV sensor",
+			Topology:     "Star",
+			Transmitted:  "Raw data",
+		},
+	}
+}
+
+func WSNTemp() App {
+	return App{
+		Name:       "WSN-Temp.",
+		Device:     sensors.TMP101(),
+		NewSource:  func() sensors.Source { return &sensors.TempSource{} },
+		NaiveInsts: 56,
+		Stride:     2, DeltaOrder: 1,
+		Fog: tempFog,
+		Table1: Profile{
+			EnergySource: "Solar",
+			SensorsDesc:  "Multiple temperature sensors",
+			Topology:     "Zigbee Chain Mesh, GPRS",
+			Transmitted:  "Raw uncompressed data",
+		},
+	}
+}
+
+func WSNAccel() App {
+	return App{
+		Name:       "WSN-Accel.",
+		Device:     sensors.LIS331DLH(),
+		NewSource:  func() sensors.Source { return &sensors.AccelSource{} },
+		NaiveInsts: 477,
+		Stride:     6, DeltaOrder: 1,
+		Fog: accelFog,
+		Table1: Profile{
+			EnergySource: "Piezoelectric, thermal, RF",
+			SensorsDesc:  "3-axis accelerometer, vibration sensors, temperature",
+			Topology:     "Star, bus or tree",
+			Transmitted:  "Raw data",
+		},
+	}
+}
+
+func PatternMatching() App {
+	return App{
+		Name:       "Pattern Matching",
+		Device:     sensors.ECG(),
+		NewSource:  func() sensors.Source { return &sensors.ECGSource{} },
+		NaiveInsts: 1670,
+		Stride:     1, DeltaOrder: 1,
+		Fog: patternFog,
+		Table1: Profile{
+			EnergySource: "RF Source, WiFi",
+			SensorsDesc:  "Heartbeat / biosignal front end",
+			Topology:     "Point-to-point backscatter",
+			Transmitted:  "Raw signal samples",
+		},
+	}
+}
+
+// All returns the five applications in Table 2 order.
+func All() []App {
+	return []App{BridgeHealth(), UVMeter(), WSNTemp(), WSNAccel(), PatternMatching()}
+}
+
+// ByName looks an application up by its Table 2 name.
+func ByName(name string) (App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// NaiveRound is the cost of one naive strategy round (one sample).
+type NaiveRound struct {
+	ComputeEnergy units.Energy
+	TxEnergy      units.Energy
+	ComputeTime   units.Duration
+	TxBytes       int
+}
+
+// ComputeRatio is Table 2's "Compute ratio": NVP energy share of
+// compute+transmit.
+func (r NaiveRound) ComputeRatio() float64 {
+	return float64(r.ComputeEnergy) / float64(r.ComputeEnergy+r.TxEnergy)
+}
+
+// Naive evaluates the naive strategy for one sample on the given core and
+// radio. The TX energy is the on-air energy of the raw record — exactly
+// what Table 2 reports.
+func (a App) Naive(core cpu.Config, radio rf.Radio) NaiveRound {
+	t, e := core.Exec(a.NaiveInsts)
+	return NaiveRound{
+		ComputeEnergy: e,
+		ComputeTime:   t,
+		TxEnergy:      radio.AirEnergy(a.Device.BytesPerSample),
+		TxBytes:       a.Device.BytesPerSample,
+	}
+}
+
+// BufferedResult is the outcome of one buffered strategy block.
+type BufferedResult struct {
+	ComputeEnergy units.Energy
+	TxEnergy      units.Energy
+	ComputeTime   units.Duration
+	// RawBytes is the buffered input size; TxBytes the transmitted
+	// (compressed + analytics) size.
+	RawBytes, TxBytes int
+	// FogInsts and CompressInsts split the computation.
+	FogInsts, CompressInsts int64
+	// CompressionRatio is compressed size / raw size.
+	CompressionRatio float64
+}
+
+// ComputeRatio is Table 2's buffered "Compute ratio".
+func (r BufferedResult) ComputeRatio() float64 {
+	return float64(r.ComputeEnergy) / float64(r.ComputeEnergy+r.TxEnergy)
+}
+
+// Buffered evaluates one buffered-strategy block of n raw bytes: the fog
+// pipeline runs over the block, the block is compressed, and compressed
+// data plus analytics are transmitted. rng drives the synthetic signal.
+func (a App) Buffered(core cpu.Config, radio rf.Radio, n int, rng *rand.Rand) BufferedResult {
+	raw := sensors.Fill(a.NewSource(), n, rng)
+
+	analytics, fogCost := a.Fog(raw)
+	blob, cstats := compress.Compress(raw, a.Stride, a.DeltaOrder)
+
+	totalInsts := fogCost.Instructions + cstats.Instructions
+	t, e := core.Exec(totalInsts)
+	txBytes := len(blob) + len(analytics)
+	return BufferedResult{
+		ComputeEnergy:    e,
+		TxEnergy:         radio.AirEnergy(txBytes),
+		ComputeTime:      t,
+		RawBytes:         n,
+		TxBytes:          txBytes,
+		FogInsts:         fogCost.Instructions,
+		CompressInsts:    cstats.Instructions,
+		CompressionRatio: cstats.Ratio(),
+	}
+}
+
+// EnergySaved evaluates Table 2's comparison column: the relative total
+// energy of the buffered strategy versus running the naive strategy often
+// enough to move the same n bytes (Equations 4–6; negative means the
+// buffered strategy saves energy).
+func (a App) EnergySaved(core cpu.Config, radio rf.Radio, n int, rng *rand.Rand) (float64, NaiveRound, BufferedResult) {
+	naive := a.Naive(core, radio)
+	buf := a.Buffered(core, radio, n, rng)
+	rounds := float64(n) / float64(a.Device.BytesPerSample)
+	eNaive := float64(naive.ComputeEnergy+naive.TxEnergy) * rounds
+	eNew := float64(buf.ComputeEnergy + buf.TxEnergy)
+	return (eNew - eNaive) / eNaive, naive, buf
+}

@@ -1,0 +1,229 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"neofog/internal/cpu"
+	"neofog/internal/rf"
+	"neofog/internal/sensors"
+	"neofog/internal/units"
+)
+
+// Table 2's naive columns, reproduced exactly.
+func TestTable2NaiveExact(t *testing.T) {
+	core := cpu.Default8051()
+	radio := rf.ML7266()
+	want := []struct {
+		name      string
+		insts     int64
+		computeNJ float64
+		txNJ      float64
+		ratioPct  float64
+	}{
+		{"Bridge Health", 545, 1366.86, 22809.6, 5.65},
+		{"UV Meter", 460, 1153.68, 5702.4, 16.8},
+		{"WSN-Temp.", 56, 140.448, 5702.4, 2.4},
+		{"WSN-Accel.", 477, 1196.316, 17107.2, 6.53},
+		{"Pattern Matching", 1670, 4188.36, 2851.2, 59.5},
+	}
+	for i, a := range All() {
+		w := want[i]
+		if a.Name != w.name || a.NaiveInsts != w.insts {
+			t.Fatalf("app %d: %s/%d, want %s/%d", i, a.Name, a.NaiveInsts, w.name, w.insts)
+		}
+		r := a.Naive(core, radio)
+		if math.Abs(float64(r.ComputeEnergy)-w.computeNJ) > 1e-9 {
+			t.Errorf("%s: compute %v nJ, want %v", a.Name, float64(r.ComputeEnergy), w.computeNJ)
+		}
+		if math.Abs(float64(r.TxEnergy)-w.txNJ) > 1e-9 {
+			t.Errorf("%s: TX %v nJ, want %v", a.Name, float64(r.TxEnergy), w.txNJ)
+		}
+		if math.Abs(r.ComputeRatio()*100-w.ratioPct) > 0.1 {
+			t.Errorf("%s: compute ratio %.2f%%, want %.2f%%", a.Name, r.ComputeRatio()*100, w.ratioPct)
+		}
+	}
+}
+
+// Table 2's buffered columns: our pipelines must land near the paper's
+// measured energies (kernels are real, so we assert bands rather than exact
+// values) and flip the compute ratio from communication-dominated to
+// computation-dominated.
+func TestTable2BufferedBands(t *testing.T) {
+	core := cpu.Default8051()
+	radio := rf.ML7266()
+	want := []struct {
+		name        string
+		computeMJ   float64 // paper's buffered compute energy
+		txMJ        float64 // paper's buffered TX energy
+		minRatioPct float64
+	}{
+		{"Bridge Health", 81.7, 6.95, 78},
+		{"UV Meter", 108.3, 6.8, 80},
+		{"WSN-Temp.", 75, 6.99, 78},
+		{"WSN-Accel.", 83.6, 6.59, 75},
+		{"Pattern Matching", 345.1, 5.39, 92},
+	}
+	for i, a := range All() {
+		w := want[i]
+		rng := rand.New(rand.NewSource(42))
+		r := a.Buffered(core, radio, BufferSize, rng)
+		gotMJ := r.ComputeEnergy.Millijoules()
+		if gotMJ < w.computeMJ*0.6 || gotMJ > w.computeMJ*1.4 {
+			t.Errorf("%s: buffered compute %.1f mJ, want within ±40%% of %.1f",
+				a.Name, gotMJ, w.computeMJ)
+		}
+		// Our delta+Huffman compressor reaches ~9-12%% of raw size where
+		// the authors' bzip reached ~3.7%%, so buffered TX energy runs
+		// ~2-3× the paper's value; see EXPERIMENTS.md. Bound the deviation.
+		txMJ := r.TxEnergy.Millijoules()
+		if txMJ > w.txMJ*4.5 || txMJ < w.txMJ*0.1 {
+			t.Errorf("%s: buffered TX %.2f mJ, want within 4.5× of %.2f", a.Name, txMJ, w.txMJ)
+		}
+		if r.ComputeRatio()*100 < w.minRatioPct {
+			t.Errorf("%s: buffered compute ratio %.1f%%, want ≥%.0f%%",
+				a.Name, r.ComputeRatio()*100, w.minRatioPct)
+		}
+		if r.CompressionRatio > 0.145 || r.CompressionRatio <= 0 {
+			t.Errorf("%s: compression ratio %.3f outside paper band", a.Name, r.CompressionRatio)
+		}
+		t.Logf("%s: compute %.1f mJ (paper %.1f), TX %.2f mJ (paper %.2f), ratio %.1f%%, compression %.2f%%",
+			a.Name, gotMJ, w.computeMJ, txMJ, w.txMJ, r.ComputeRatio()*100, r.CompressionRatio*100)
+	}
+}
+
+// Table 2's comparison column: the buffered strategy saves 24.1–57.1% of
+// total energy; the band must reproduce (most saved for WSN-Temp, least for
+// Pattern Matching).
+func TestEnergySavedBand(t *testing.T) {
+	core := cpu.Default8051()
+	radio := rf.ML7266()
+	saved := map[string]float64{}
+	for _, a := range All() {
+		rng := rand.New(rand.NewSource(7))
+		s, _, _ := a.EnergySaved(core, radio, BufferSize, rng)
+		saved[a.Name] = s
+		if s >= -0.10 || s <= -0.75 {
+			t.Errorf("%s: energy saved %.1f%%, want in (-75%%, -10%%)", a.Name, s*100)
+		}
+		t.Logf("%s: energy saved %.1f%% (paper band -24.1%%..-57.1%%)", a.Name, s*100)
+	}
+	// Orderings the paper reports: pattern matching saves the least
+	// (its naive compute share is already 59.5%).
+	for name, s := range saved {
+		if name == "Pattern Matching" {
+			continue
+		}
+		if s >= saved["Pattern Matching"] {
+			t.Errorf("%s saved %.1f%% should exceed Pattern Matching's %.1f%% savings",
+				name, s*100, saved["Pattern Matching"]*100)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	a, err := ByName("UV Meter")
+	if err != nil || a.Name != "UV Meter" {
+		t.Fatalf("ByName = %+v, %v", a, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTable1Profiles(t *testing.T) {
+	for _, a := range All() {
+		p := a.Table1
+		if p.EnergySource == "" || p.SensorsDesc == "" || p.Topology == "" || p.Transmitted == "" {
+			t.Errorf("%s: incomplete Table 1 profile: %+v", a.Name, p)
+		}
+	}
+	// Table 1 topology spot checks.
+	if b := BridgeHealth(); b.Table1.Topology != "Zigbee Chain Mesh" {
+		t.Errorf("bridge topology = %q", b.Table1.Topology)
+	}
+	if u := UVMeter(); u.Table1.Topology != "Star" {
+		t.Errorf("uv topology = %q", u.Table1.Topology)
+	}
+}
+
+func TestFogPipelinesProduceAnalytics(t *testing.T) {
+	for _, a := range All() {
+		rng := rand.New(rand.NewSource(3))
+		r := a.Buffered(cpu.Default8051(), rf.ML7266(), 16384, rng)
+		if r.FogInsts <= 0 || r.CompressInsts <= 0 {
+			t.Errorf("%s: missing cost split: %+v", a.Name, r)
+		}
+		if r.TxBytes <= 0 || r.TxBytes >= r.RawBytes {
+			t.Errorf("%s: TX %d bytes of %d raw — no reduction", a.Name, r.TxBytes, r.RawBytes)
+		}
+	}
+}
+
+func TestBufferedDeterminism(t *testing.T) {
+	a := BridgeHealth()
+	r1 := a.Buffered(cpu.Default8051(), rf.ML7266(), 8192, rand.New(rand.NewSource(5)))
+	r2 := a.Buffered(cpu.Default8051(), rf.ML7266(), 8192, rand.New(rand.NewSource(5)))
+	if r1 != r2 {
+		t.Fatalf("buffered evaluation not deterministic:\n%+v\n%+v", r1, r2)
+	}
+}
+
+// The heartbeat pipeline's beat counter must agree with the synthetic
+// source's rate: 65536 samples at 250 Hz of signal time and 1.2 beats/s is
+// ~315 beats.
+func TestPatternFogBeatCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	raw := make([]byte, 0, 65536)
+	src := &sensors.ECGSource{}
+	for len(raw) < 65536 {
+		raw = append(raw, src.Next(rng)...)
+	}
+	out, cost := PatternMatching().Fog(raw)
+	if cost.Instructions <= 0 || len(out) < 8 {
+		t.Fatalf("fog output too small: %d bytes, %d insts", len(out), cost.Instructions)
+	}
+	beats := math.Float32frombits(binary.LittleEndian.Uint32(out[4:8]))
+	want := 65536.0 / 250.0 * 1.2
+	if math.Abs(float64(beats)-want) > want*0.1 {
+		t.Fatalf("beats = %v, want ≈%.0f", beats, want)
+	}
+}
+
+// The bridge pipeline's analytics must be finite and structured: peak
+// frequency bins for each window and three finite strength figures.
+func TestBridgeFogAnalyticsSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	raw := sensors.Fill(&sensors.BridgeSource{}, 65536, rng)
+	out, cost := BridgeHealth().Fog(raw)
+	if cost.Instructions < 10_000_000 {
+		t.Fatalf("bridge pipeline implausibly cheap: %d insts", cost.Instructions)
+	}
+	// 8 windows × 2-byte peak bins, then 3 strengths + 1 average (float32).
+	if len(out) != 8*2+4*4 {
+		t.Fatalf("analytics payload = %d bytes", len(out))
+	}
+	for i := 0; i < 3; i++ {
+		s := math.Float32frombits(binary.LittleEndian.Uint32(out[16+4*i:]))
+		if math.IsNaN(float64(s)) || math.IsInf(float64(s), 0) || s < 0 {
+			t.Fatalf("strength %d = %v", i, s)
+		}
+	}
+}
+
+// Naive compute time must follow the instruction count at 12 µs per
+// instruction for every app.
+func TestNaiveTimes(t *testing.T) {
+	core := cpu.Default8051()
+	for _, a := range All() {
+		r := a.Naive(core, rf.ML7266())
+		want := time12us(a.NaiveInsts)
+		if r.ComputeTime != want {
+			t.Errorf("%s: compute time %v, want %v", a.Name, r.ComputeTime, want)
+		}
+	}
+}
+
+func time12us(insts int64) (d units.Duration) { return units.Duration(insts * 12) }

@@ -1,0 +1,224 @@
+package apps
+
+import (
+	"encoding/binary"
+	"math"
+
+	"neofog/internal/dsp"
+)
+
+// The fog pipelines below are the cloud-offloaded analytics of §3.1. Kernel
+// sizes (filter lengths, window counts, AR orders, template lengths) are
+// chosen so the measured instruction counts land near Table 2's buffered
+// compute energies (see EXPERIMENTS.md for paper-vs-measured).
+
+func putF32(dst []byte, v float64) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v)))
+	return append(dst, b[:]...)
+}
+
+// bridgeFog is the bridge-health pipeline the paper spells out: combine the
+// 3-direction acceleration into one cable-vertical vibration, remove noise,
+// FFT, compute strength in three structure-specialised models (AR fits of
+// different orders), compensate, and average (§3.1).
+func bridgeFog(raw []byte) ([]byte, dsp.Cost) {
+	var cost dsp.Cost
+
+	// Channel extraction and 3-direction combination (vertical projection).
+	ax := dsp.Bytes16ToFloat(raw, 0, 8)
+	ay := dsp.Bytes16ToFloat(raw, 2, 8)
+	az := dsp.Bytes16ToFloat(raw, 4, 8)
+	n := len(ax)
+	vertical := make([]float64, n)
+	const cx, cy, cz = 0.23, 0.31, 0.92 // cable-vertical direction cosines
+	for i := 0; i < n; i++ {
+		vertical[i] = cx*ax[i] + cy*ay[i] + cz*az[i]
+	}
+	cost.Instructions += int64(n) * 3 * 45
+
+	// Noise removal.
+	filtered, c := dsp.FIRFilter(vertical, dsp.LowPassTaps(44, 0.12))
+	cost = cost.Add(c)
+
+	// Per-window FFT: dominant-mode frequency and amplitude.
+	out := make([]byte, 0, 128)
+	const win = 1024
+	for w := 0; w+win <= len(filtered); w += win {
+		buf := make([]complex128, win)
+		for i := 0; i < win; i++ {
+			buf[i] = complex(filtered[w+i], 0)
+		}
+		fc, err := dsp.FFT(buf)
+		cost = cost.Add(fc)
+		if err != nil {
+			continue
+		}
+		peak, peakMag := 1, 0.0
+		for k := 1; k < win/2; k++ {
+			if m := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k]); m > peakMag {
+				peak, peakMag = k, m
+			}
+		}
+		out = append(out, byte(peak), byte(peak>>8))
+	}
+
+	// Three structure-specialised strength models: AR fits of increasing
+	// order; the prediction error is the strength/damage indicator.
+	for _, order := range []int{2, 3, 4} {
+		coeffs, c, err := dsp.ARFit(filtered, order)
+		cost = cost.Add(c)
+		if err != nil {
+			out = putF32(out, math.NaN())
+			continue
+		}
+		strength, pc := dsp.ARPredictError(filtered, coeffs)
+		cost = cost.Add(pc)
+		out = putF32(out, strength)
+	}
+
+	// Temperature/humidity compensation and averaging of the models.
+	var avg float64
+	for i := 0; i < n; i++ {
+		avg += filtered[i] * 1.0003 // compensation gain
+	}
+	avg /= float64(n)
+	cost.Instructions += int64(n) * 2 * 45
+	out = putF32(out, avg)
+	return out, cost
+}
+
+// uvFog smooths the UV series and fits a dose model: cumulative exposure
+// plus an AR(4) trend (the "accurate personal ultraviolet dose estimation"
+// of [37]).
+func uvFog(raw []byte) ([]byte, dsp.Cost) {
+	var cost dsp.Cost
+	x := dsp.Bytes16ToFloat(raw, 0, 2)
+	filtered, c := dsp.FIRFilter(x, dsp.LowPassTaps(23, 0.08))
+	cost = cost.Add(c)
+
+	var dose float64
+	for _, v := range filtered {
+		dose += v
+	}
+	cost.Instructions += int64(len(filtered)) * 45
+
+	out := putF32(nil, dose)
+	coeffs, c2, err := dsp.ARFit(filtered, 4)
+	cost = cost.Add(c2)
+	if err == nil {
+		for _, v := range coeffs {
+			out = putF32(out, v)
+		}
+	}
+	return out, cost
+}
+
+// tempFog smooths the temperature series and extracts min/max/mean plus an
+// AR(4) drift model.
+func tempFog(raw []byte) ([]byte, dsp.Cost) {
+	var cost dsp.Cost
+	x := dsp.Bytes16ToFloat(raw, 0, 2)
+	filtered, c := dsp.FIRFilter(x, dsp.LowPassTaps(14, 0.05))
+	cost = cost.Add(c)
+
+	lo, hi, mean := math.Inf(1), math.Inf(-1), 0.0
+	for _, v := range filtered {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		mean += v
+	}
+	mean /= float64(len(filtered))
+	cost.Instructions += int64(len(filtered)) * 30
+
+	out := putF32(putF32(putF32(nil, lo), hi), mean)
+	coeffs, c2, err := dsp.ARFit(filtered, 4)
+	cost = cost.Add(c2)
+	if err == nil {
+		for _, v := range coeffs {
+			out = putF32(out, v)
+		}
+	}
+	return out, cost
+}
+
+// accelFog runs per-axis noise removal, modal FFT, and AR(2) features — the
+// machine-health pipeline of [34, 83].
+func accelFog(raw []byte) ([]byte, dsp.Cost) {
+	var cost dsp.Cost
+	out := make([]byte, 0, 64)
+	taps := dsp.LowPassTaps(14, 0.15)
+	for axis := 0; axis < 3; axis++ {
+		x := dsp.Bytes16ToFloat(raw, 2*axis, 6)
+		filtered, c := dsp.FIRFilter(x, taps)
+		cost = cost.Add(c)
+
+		// Two modal windows per axis.
+		const win = 1024
+		for w := 0; w < 2 && (w+1)*win <= len(filtered); w++ {
+			buf := make([]complex128, win)
+			for i := 0; i < win; i++ {
+				buf[i] = complex(filtered[w*win+i], 0)
+			}
+			fc, err := dsp.FFT(buf)
+			cost = cost.Add(fc)
+			if err != nil {
+				continue
+			}
+			peak, peakMag := 1, 0.0
+			for k := 1; k < win/2; k++ {
+				if m := real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k]); m > peakMag {
+					peak, peakMag = k, m
+				}
+			}
+			out = append(out, byte(peak), byte(peak>>8))
+		}
+
+		coeffs, c2, err := dsp.ARFit(filtered, 2)
+		cost = cost.Add(c2)
+		if err == nil {
+			for _, v := range coeffs {
+				out = putF32(out, v)
+			}
+		}
+	}
+	return out, cost
+}
+
+// patternFog matches a QRS template against the whole buffered ECG stream
+// and reports beat statistics — the heartbeat signal pattern-matching
+// workload.
+func patternFog(raw []byte) ([]byte, dsp.Cost) {
+	var cost dsp.Cost
+	x := dsp.BytesToFloat(raw)
+
+	// QRS template: half-sine spike over 30 samples, matching the
+	// synthetic source's beat morphology.
+	template := make([]float64, 30)
+	for i := range template {
+		template[i] = 128 + 100*math.Sin(float64(i)/10*math.Pi/3)
+	}
+	lag, corr, c := dsp.MatchPattern(x, template)
+	cost = cost.Add(c)
+
+	// Beat counting by threshold crossing.
+	beats := 0
+	above := false
+	for _, v := range x {
+		if v > 190 && !above {
+			beats++
+			above = true
+		} else if v < 160 {
+			above = false
+		}
+	}
+	cost.Instructions += int64(len(x)) * 10
+
+	out := putF32(putF32(nil, corr), float64(beats))
+	out = append(out, byte(lag), byte(lag>>8), byte(lag>>16))
+	return out, cost
+}

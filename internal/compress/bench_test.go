@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+
+	"neofog/internal/sensors"
+)
+
+func benchData(b *testing.B, src sensors.Source, n int) []byte {
+	b.Helper()
+	return sensors.Fill(src, n, rand.New(rand.NewSource(1)))
+}
+
+// Per-application 64 kB compression — the buffered strategy's hot path.
+func BenchmarkCompress64kBridge(b *testing.B) { benchCompress(b, &sensors.BridgeSource{}, 8, 1) }
+func BenchmarkCompress64kTemp(b *testing.B)   { benchCompress(b, &sensors.TempSource{}, 2, 1) }
+func BenchmarkCompress64kECG(b *testing.B)    { benchCompress(b, &sensors.ECGSource{}, 1, 1) }
+
+func benchCompress(b *testing.B, src sensors.Source, stride, order int) {
+	data := benchData(b, src, 65536)
+	b.SetBytes(65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(data, stride, order)
+	}
+}
+
+func BenchmarkDecompress64k(b *testing.B) {
+	data := benchData(b, &sensors.BridgeSource{}, 65536)
+	blob, _ := Compress(data, 8, 1)
+	b.SetBytes(65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the pipeline stages' contribution to compressed size and
+// speed. DESIGN.md calls out the delta/transpose/Huffman split as the
+// design choice standing in for bzip.
+func BenchmarkAblationNoDelta(b *testing.B)      { benchCompress(b, &sensors.BridgeSource{}, 0, 0) }
+func BenchmarkAblationDeltaOnly(b *testing.B)    { benchCompress(b, &sensors.BridgeSource{}, 1, 1) }
+func BenchmarkAblationFullPipeline(b *testing.B) { benchCompress(b, &sensors.BridgeSource{}, 8, 1) }
+
+// Report the ratio ablation as sub-benchmarks' custom metric.
+func BenchmarkAblationRatios(b *testing.B) {
+	data := benchData(b, &sensors.BridgeSource{}, 65536)
+	cases := []struct {
+		name          string
+		stride, order int
+	}{
+		{"no-delta", 0, 0},
+		{"delta1-stride1", 1, 1},
+		{"delta1-stride8-transpose", 8, 1},
+		{"delta2-stride8-transpose", 8, 2},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				_, st := Compress(data, c.stride, c.order)
+				ratio = st.Ratio()
+			}
+			b.ReportMetric(ratio*100, "%size")
+		})
+	}
+}

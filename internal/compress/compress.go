@@ -1,0 +1,309 @@
+// Package compress implements the node-local lossless compressor used by
+// the buffered sensing-buffering-computing-compression-transmission
+// strategy (§5.1). The deployed systems used bzip or jpeg; this is a
+// stdlib-free equivalent tuned for WSN sample streams:
+//
+//  1. a byte-wise delta filter at the record stride, which turns smooth
+//     multi-byte sample streams into long runs of zeros and small values;
+//  2. zero run-length encoding; and
+//  3. a canonical Huffman entropy coder.
+//
+// On the synthetic sensor streams of this repository it reaches the paper's
+// 3–14.5% compressed-size band for 64 kB buffers. Every call also reports
+// an instruction-count estimate so callers can charge the compression work
+// to the node's CPU energy budget (compression "requires a large amount of
+// computation energy", §5.1).
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Stats reports the work done by a Compress or Decompress call.
+type Stats struct {
+	// InBytes and OutBytes are the payload sizes before and after.
+	InBytes, OutBytes int
+	// Instructions estimates the 8051-class instruction count of the call,
+	// for CPU energy accounting.
+	Instructions int64
+}
+
+// Ratio is OutBytes/InBytes (0 for empty input).
+func (s Stats) Ratio() float64 {
+	if s.InBytes == 0 {
+		return 0
+	}
+	return float64(s.OutBytes) / float64(s.InBytes)
+}
+
+// Instruction-cost coefficients of the compression pipeline on the
+// 8051-class core: derived from hand-counted inner loops of a C
+// implementation (delta: load/sub/store + index; histogram: load/inc;
+// encode: table lookup + bit pack per symbol; tree build amortised).
+const (
+	instPerDeltaByte   = 6
+	instPerHistoByte   = 4
+	instPerSymbol      = 18
+	instPerOutputByte  = 8
+	instTreeBuild      = 9000
+	instPerDecodeBit   = 3
+	instPerUndeltaByte = 5
+)
+
+const (
+	zrunSym = 256 // symbol marking a zero run; followed by 8 bits (len-1)
+	eobSym  = 257 // end of block
+	numSyms = 258
+	// minRun is the shortest zero run worth a zrun token: shorter runs are
+	// cheaper as literal zeros (the token costs 8 extra length bits).
+	minRun   = 8
+	maxRun   = 256
+	magic    = 0x4E46 // "NF"
+	modeHuff = 1
+	modeRaw  = 0
+)
+
+// Compress encodes data. stride is the record size of the underlying
+// sample stream (the delta filter distance) and order is how many delta
+// passes to apply (0–2): order 1 removes a constant baseline, order 2 also
+// removes smooth trends such as oversampled sinusoidal vibration. stride
+// must be ≤ 15; stride ≤ 0 or order ≤ 0 disables the delta stage. If the
+// encoded form would be no smaller than the input, a stored block is
+// emitted instead, so Compress never expands by more than the 8-byte
+// header.
+func Compress(data []byte, stride, order int) ([]byte, Stats) {
+	var inst int64
+	if stride > 15 {
+		panic("compress: stride must be ≤ 15")
+	}
+	if order < 0 || order > 2 {
+		panic("compress: order must be 0–2")
+	}
+
+	// For multi-byte records the byte planes are transposed first (all
+	// first bytes, then all second bytes, …): each plane of a smooth
+	// sample stream is itself smooth, and near-constant planes (sign/high
+	// bytes) collapse into long zero runs after the delta. The delta then
+	// runs at stride 1 within the plane-major layout.
+	work := data
+	if stride > 0 && order > 0 && len(data) > stride {
+		if stride > 1 {
+			work = transpose(data, stride)
+			inst += int64(len(data)) * instPerDeltaByte
+		}
+		work = deltaEncode(work, 1)
+		inst += int64(len(data)) * instPerDeltaByte
+		if order == 2 {
+			work = deltaEncode(work, 1)
+			inst += int64(len(data)) * instPerDeltaByte
+		}
+	} else {
+		stride, order = 0, 0
+	}
+
+	syms, extras := rleEncode(work)
+	inst += int64(len(work)) * instPerHistoByte
+
+	freq := make([]int, numSyms)
+	for _, s := range syms {
+		freq[s]++
+	}
+	freq[eobSym]++
+
+	lengths := buildCodeLengths(freq, 15)
+	codes := canonicalCodes(lengths)
+	inst += instTreeBuild
+
+	var bw bitWriter
+	ei := 0
+	for _, s := range syms {
+		bw.write(codes[s].bits, codes[s].n)
+		if s == zrunSym {
+			bw.write(uint32(extras[ei]), 8)
+			ei++
+		}
+	}
+	bw.write(codes[eobSym].bits, codes[eobSym].n)
+	inst += int64(len(syms)+1) * instPerSymbol
+
+	body := bw.finish()
+	table := packLengths(lengths)
+
+	// Header: magic(2) mode(1) stride|order<<4 (1) origLen(4).
+	out := make([]byte, 8, 8+len(table)+len(body))
+	binary.LittleEndian.PutUint16(out[0:], magic)
+	out[3] = byte(stride) | byte(order)<<4
+	binary.LittleEndian.PutUint32(out[4:], uint32(len(data)))
+
+	if 8+len(table)+len(body) >= 8+len(data) {
+		out[2] = modeRaw
+		out = append(out, data...)
+	} else {
+		out[2] = modeHuff
+		out = append(out, table...)
+		out = append(out, body...)
+	}
+	inst += int64(len(out)) * instPerOutputByte
+
+	return out, Stats{InBytes: len(data), OutBytes: len(out), Instructions: inst}
+}
+
+// Decompress decodes a blob produced by Compress.
+func Decompress(blob []byte) ([]byte, Stats, error) {
+	var inst int64
+	if len(blob) < 8 {
+		return nil, Stats{}, errors.New("compress: blob too short")
+	}
+	if binary.LittleEndian.Uint16(blob[0:]) != magic {
+		return nil, Stats{}, errors.New("compress: bad magic")
+	}
+	mode := blob[2]
+	stride := int(blob[3] & 0x0F)
+	order := int(blob[3] >> 4)
+	origLen := int(binary.LittleEndian.Uint32(blob[4:]))
+	rest := blob[8:]
+
+	if mode == modeRaw {
+		if len(rest) != origLen {
+			return nil, Stats{}, fmt.Errorf("compress: stored block length %d, want %d", len(rest), origLen)
+		}
+		out := make([]byte, origLen)
+		copy(out, rest)
+		return out, Stats{InBytes: len(blob), OutBytes: origLen, Instructions: int64(origLen)}, nil
+	}
+	if mode != modeHuff {
+		return nil, Stats{}, fmt.Errorf("compress: unknown mode %d", mode)
+	}
+
+	tableLen := numSyms / 2
+	if len(rest) < tableLen {
+		return nil, Stats{}, errors.New("compress: truncated code table")
+	}
+	lengths := unpackLengths(rest[:tableLen])
+	codes := canonicalCodes(lengths)
+	dec, err := newDecoder(lengths, codes)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+
+	br := bitReader{data: rest[tableLen:]}
+	work := make([]byte, 0, origLen)
+	for {
+		s, bits, err := dec.next(&br)
+		inst += int64(bits) * instPerDecodeBit
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		if s == eobSym {
+			break
+		}
+		if s == zrunSym {
+			n, err := br.read(8)
+			if err != nil {
+				return nil, Stats{}, err
+			}
+			run := int(n) + 1
+			for i := 0; i < run; i++ {
+				work = append(work, 0)
+			}
+			continue
+		}
+		work = append(work, byte(s))
+	}
+	if len(work) != origLen {
+		return nil, Stats{}, fmt.Errorf("compress: decoded %d bytes, want %d", len(work), origLen)
+	}
+
+	for i := 0; i < order && stride > 0; i++ {
+		deltaDecode(work, 1)
+		inst += int64(len(work)) * instPerUndeltaByte
+	}
+	if stride > 1 && order > 0 {
+		work = untranspose(work, stride)
+		inst += int64(len(work)) * instPerUndeltaByte
+	}
+	return work, Stats{InBytes: len(blob), OutBytes: origLen, Instructions: inst}, nil
+}
+
+// transpose reorders whole records into plane-major order: byte k of every
+// record is grouped together. A trailing partial record stays in place at
+// the end.
+func transpose(in []byte, stride int) []byte {
+	n := len(in) / stride * stride
+	out := make([]byte, len(in))
+	rows := n / stride
+	idx := 0
+	for p := 0; p < stride; p++ {
+		for r := 0; r < rows; r++ {
+			out[idx] = in[r*stride+p]
+			idx++
+		}
+	}
+	copy(out[n:], in[n:])
+	return out
+}
+
+// untranspose inverts transpose.
+func untranspose(in []byte, stride int) []byte {
+	n := len(in) / stride * stride
+	out := make([]byte, len(in))
+	rows := n / stride
+	idx := 0
+	for p := 0; p < stride; p++ {
+		for r := 0; r < rows; r++ {
+			out[r*stride+p] = in[idx]
+			idx++
+		}
+	}
+	copy(out[n:], in[n:])
+	return out
+}
+
+// deltaEncode returns out[i] = in[i] - in[i-stride] (first stride bytes
+// verbatim).
+func deltaEncode(in []byte, stride int) []byte {
+	out := make([]byte, len(in))
+	copy(out, in[:stride])
+	for i := stride; i < len(in); i++ {
+		out[i] = in[i] - in[i-stride]
+	}
+	return out
+}
+
+// deltaDecode inverts deltaEncode in place.
+func deltaDecode(b []byte, stride int) {
+	for i := stride; i < len(b); i++ {
+		b[i] += b[i-stride]
+	}
+}
+
+// rleEncode converts bytes to a symbol stream where runs of zeros become
+// zrunSym with an extra byte (run length - 1, max 256 per token).
+func rleEncode(in []byte) (syms []uint16, extras []byte) {
+	syms = make([]uint16, 0, len(in)/2+16)
+	i := 0
+	for i < len(in) {
+		if in[i] == 0 {
+			run := 1
+			for i+run < len(in) && in[i+run] == 0 && run < maxRun {
+				run++
+			}
+			if run >= minRun {
+				syms = append(syms, zrunSym)
+				extras = append(extras, byte(run-1))
+				i += run
+				continue
+			}
+			for j := 0; j < run; j++ {
+				syms = append(syms, 0)
+			}
+			i += run
+			continue
+		}
+		syms = append(syms, uint16(in[i]))
+		i++
+	}
+	return syms, extras
+}

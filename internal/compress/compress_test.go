@@ -1,0 +1,259 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neofog/internal/sensors"
+)
+
+func roundTrip(t *testing.T, data []byte, stride, order int) Stats {
+	t.Helper()
+	blob, st := Compress(data, stride, order)
+	if st.InBytes != len(data) || st.OutBytes != len(blob) {
+		t.Fatalf("stats mismatch: %+v vs blob %d", st, len(blob))
+	}
+	back, _, err := Decompress(blob)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("round trip corrupted data (len %d vs %d)", len(back), len(data))
+	}
+	return st
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, 10000),
+		bytes.Repeat([]byte{7}, 500),
+		[]byte("hello hello hello hello"),
+	}
+	for i, c := range cases {
+		for _, stride := range []int{0, 1, 2, 6} {
+			for order := 0; order <= 2; order++ {
+				roundTrip(t, c, stride, order)
+			}
+			_ = i
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	st := roundTrip(t, data, 2, 1)
+	// Random data must fall back to (near) stored mode: never expand by
+	// more than the header+1.
+	if st.OutBytes > st.InBytes+9 {
+		t.Fatalf("random data expanded: %d → %d", st.InBytes, st.OutBytes)
+	}
+}
+
+// Property-based round trip across arbitrary inputs and strides.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte, strideRaw, orderRaw uint8) bool {
+		stride := int(strideRaw % 9)
+		order := int(orderRaw % 3)
+		blob, _ := Compress(data, stride, order)
+		back, _, err := Decompress(blob)
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The buffered strategy's premise: 64 kB of WSN sensor data compresses to
+// 3–14.5% of its original size (§5.1). Verify each application's stream
+// lands in (or below) that band with the right stride.
+func TestSensorStreamRatiosMatchPaperBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name          string
+		src           sensors.Source
+		stride, order int
+	}{
+		{"temp", &sensors.TempSource{}, 2, 1},
+		{"uv", &sensors.UVSource{}, 2, 1},
+		{"accel", &sensors.AccelSource{}, 6, 1},
+		{"bridge", &sensors.BridgeSource{}, 8, 1},
+		{"ecg", &sensors.ECGSource{}, 1, 1},
+	}
+	for _, c := range cases {
+		data := sensors.Fill(c.src, 65536, rng)
+		st := roundTrip(t, data, c.stride, c.order)
+		ratio := st.Ratio()
+		if ratio > 0.145 {
+			t.Errorf("%s: compression ratio %.3f exceeds the paper's 14.5%% bound", c.name, ratio)
+		}
+		if ratio < 0.005 {
+			t.Errorf("%s: ratio %.4f implausibly low — is the source degenerate?", c.name, ratio)
+		}
+		t.Logf("%s: 64kB → %d bytes (%.2f%%), %d insts", c.name, st.OutBytes, ratio*100, st.Instructions)
+	}
+}
+
+func TestDeltaHelpsSmoothData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := sensors.Fill(&sensors.AccelSource{}, 16384, rng)
+	_, noDelta := Compress(data, 0, 0)
+	_, withDelta := Compress(data, 6, 1)
+	if withDelta.OutBytes >= noDelta.OutBytes {
+		t.Fatalf("stride-6 delta should beat no delta on accel data: %d vs %d",
+			withDelta.OutBytes, noDelta.OutBytes)
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	small := sensors.Fill(&sensors.TempSource{}, 1024, rng)
+	large := sensors.Fill(&sensors.TempSource{}, 65536, rng)
+	_, stSmall := Compress(small, 2, 1)
+	_, stLarge := Compress(large, 2, 1)
+	if stSmall.Instructions <= 0 || stLarge.Instructions <= stSmall.Instructions {
+		t.Fatalf("instruction counts not sane: %d then %d", stSmall.Instructions, stLarge.Instructions)
+	}
+	// Cost should scale roughly linearly with input size (within 4×/64).
+	perByteSmall := float64(stSmall.Instructions) / 1024
+	perByteLarge := float64(stLarge.Instructions) / 65536
+	if perByteLarge > perByteSmall*4 || perByteSmall > perByteLarge*4 {
+		t.Fatalf("per-byte cost wildly nonlinear: %.1f vs %.1f", perByteSmall, perByteLarge)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0x4E, 0x00, 1, 0, 0, 0, 0, 0}, // bad magic
+		{0x46, 0x4E, 9, 0, 0, 0, 0, 0}, // bad mode
+		{0x46, 0x4E, 1, 0, 255, 0, 0, 0, 1, 2, 3}, // truncated table
+	}
+	for i, c := range cases {
+		if _, _, err := Decompress(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	// Corrupt a valid blob's body.
+	blob, _ := Compress(bytes.Repeat([]byte{1, 2, 3, 4}, 100), 4, 1)
+	if blob[2] == modeHuff {
+		blob[len(blob)-1] ^= 0xFF
+		blob = blob[:len(blob)-2]
+		if _, _, err := Decompress(blob); err == nil {
+			t.Error("truncated body should not decode cleanly")
+		}
+	}
+}
+
+func TestStoredModeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 300)
+	rng.Read(data)
+	blob, st := Compress(data, 0, 0)
+	if blob[2] != modeRaw {
+		t.Skip("random data unexpectedly compressed; stored mode untested here")
+	}
+	if st.OutBytes != len(data)+8 {
+		t.Fatalf("stored mode size %d, want %d", st.OutBytes, len(data)+8)
+	}
+	back, _, err := Decompress(blob)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatal("stored round trip failed")
+	}
+}
+
+func TestRLEEncode(t *testing.T) {
+	// Short zero runs stay literal; runs of ≥ minRun become one token.
+	in := append([]byte{0, 0, 0, 5}, make([]byte, 10)...)
+	in = append(in, 1)
+	syms, extras := rleEncode(in)
+	want := []uint16{0, 0, 0, 5, zrunSym, 1}
+	if len(syms) != len(want) {
+		t.Fatalf("syms = %v, want %v", syms, want)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Fatalf("syms[%d] = %d, want %d", i, syms[i], want[i])
+		}
+	}
+	if len(extras) != 1 || extras[0] != 9 {
+		t.Fatalf("extras = %v", extras)
+	}
+}
+
+func TestLongZeroRuns(t *testing.T) {
+	// Runs longer than 256 must split into multiple tokens and round-trip.
+	data := append(bytes.Repeat([]byte{0}, 1000), 9)
+	roundTrip(t, data, 0, 0)
+}
+
+func TestBitWriterReader(t *testing.T) {
+	var w bitWriter
+	w.write(0b101, 3)
+	w.write(0b1, 1)
+	w.write(0xABCD, 16)
+	out := w.finish()
+	r := bitReader{data: out}
+	if v, _ := r.read(3); v != 0b101 {
+		t.Fatalf("read 3 = %b", v)
+	}
+	if v, _ := r.read(1); v != 1 {
+		t.Fatal("read 1")
+	}
+	if v, _ := r.read(16); v != 0xABCD {
+		t.Fatalf("read 16 = %x", v)
+	}
+	if _, err := r.read(8); err == nil {
+		// 4 padding bits remain; reading 8 must fail.
+		t.Fatal("expected exhaustion")
+	}
+}
+
+func TestCanonicalCodesPrefixFree(t *testing.T) {
+	freq := make([]int, numSyms)
+	for i := 0; i < 50; i++ {
+		freq[i] = i*i + 1
+	}
+	lengths := buildCodeLengths(freq, 15)
+	codes := canonicalCodes(lengths)
+	// No code may be a prefix of another.
+	for a := 0; a < 50; a++ {
+		for b := 0; b < 50; b++ {
+			if a == b || lengths[a] == 0 || lengths[b] == 0 || lengths[a] > lengths[b] {
+				continue
+			}
+			prefix := codes[b].bits >> (codes[b].n - codes[a].n)
+			if prefix == codes[a].bits {
+				t.Fatalf("code %d is a prefix of %d", a, b)
+			}
+		}
+	}
+}
+
+func TestLengthLimiting(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; lengths must still be
+	// ≤ 15 and decodable.
+	freq := make([]int, numSyms)
+	a, b := 1, 1
+	for i := 0; i < 30; i++ {
+		freq[i] = a
+		a, b = b, a+b
+	}
+	lengths := buildCodeLengths(freq, 15)
+	for s, l := range lengths {
+		if l > 15 {
+			t.Fatalf("symbol %d has length %d", s, l)
+		}
+	}
+	if _, err := newDecoder(lengths, canonicalCodes(lengths)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package cpu
+
+import (
+	"math"
+	"sort"
+
+	"neofog/internal/units"
+)
+
+// FreqLevel is one operating point of the Spendthrift frequency/resource
+// scaling policy [49]: a clock multiplier relative to the base config and
+// the active power drawn at that point. Power grows superlinearly with
+// frequency (voltage scaling), so higher levels are faster but less
+// energy-efficient per instruction.
+type FreqLevel struct {
+	// Mult is the clock multiplier relative to Config.ClockHz.
+	Mult float64
+	// Power is the active power at this operating point.
+	Power units.Power
+}
+
+// Spendthrift is the operating-point selection policy the paper assumes at
+// each NVP (§2.2): convert incoming power into completed work as directly
+// as possible by running at the highest frequency the harvest can sustain,
+// avoiding both stalls (income unused) and duty-cycling overhead (income
+// below the operating point).
+type Spendthrift struct {
+	levels []FreqLevel // ascending by Mult
+	base   Config
+}
+
+// powerExponent models P ∝ f^1.3 across DVFS points (f·V² with V roughly
+// ∝ f^0.15 in the near-threshold region these MCUs operate in).
+const powerExponent = 1.3
+
+// NewSpendthrift builds a policy over the given clock multipliers.
+func NewSpendthrift(base Config, mults ...float64) *Spendthrift {
+	if len(mults) == 0 {
+		panic("cpu: spendthrift needs at least one level")
+	}
+	s := &Spendthrift{base: base}
+	p0 := float64(base.ActivePower())
+	for _, m := range mults {
+		if m <= 0 {
+			panic("cpu: non-positive frequency multiplier")
+		}
+		s.levels = append(s.levels, FreqLevel{
+			Mult:  m,
+			Power: units.Power(p0 * math.Pow(m, powerExponent)),
+		})
+	}
+	sort.Slice(s.levels, func(i, j int) bool { return s.levels[i].Mult < s.levels[j].Mult })
+	return s
+}
+
+// DefaultSpendthrift covers 0.5×–8× of the base clock.
+func DefaultSpendthrift(base Config) *Spendthrift {
+	return NewSpendthrift(base, 0.5, 1, 2, 4, 8)
+}
+
+// Levels returns the operating points in ascending frequency order.
+func (s *Spendthrift) Levels() []FreqLevel {
+	out := make([]FreqLevel, len(s.levels))
+	copy(out, s.levels)
+	return out
+}
+
+// Pick selects the highest operating point whose power the available income
+// can sustain; if even the lowest point exceeds the income, the lowest
+// point is returned (the core will duty-cycle).
+func (s *Spendthrift) Pick(avail units.Power) FreqLevel {
+	best := s.levels[0]
+	for _, l := range s.levels {
+		if l.Power <= avail {
+			best = l
+		}
+	}
+	return best
+}
+
+// PickIndex is Pick but reports the level's index, for sharing NVP
+// configuration between nodes during load balancing (§3.2).
+func (s *Spendthrift) PickIndex(avail units.Power) int {
+	idx := 0
+	for i, l := range s.levels {
+		if l.Power <= avail {
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Exec reports the time and energy for n instructions at the given level.
+// Energy per instruction rises with the level's power-to-speed ratio.
+func (s *Spendthrift) Exec(n int64, l FreqLevel) (units.Duration, units.Energy) {
+	if n < 0 {
+		panic("cpu: negative instruction count")
+	}
+	baseT, _ := s.base.Exec(n)
+	t := units.Duration(math.Round(float64(baseT) / l.Mult))
+	e := l.Power.Over(t)
+	return t, e
+}
+
+// EfficiencyRatio reports energy-per-instruction at level l relative to the
+// base frequency (≥1 for levels above 1×).
+func (s *Spendthrift) EfficiencyRatio(l FreqLevel) float64 {
+	return math.Pow(l.Mult, powerExponent-1)
+}

@@ -1,0 +1,169 @@
+// Package energytrace models the income power seen by an energy-harvesting
+// node over time. The NEOFog paper evaluates on two kinds of synthetic
+// traces, both derived from measured solar data (§5.2):
+//
+//   - independent traces (forest deployment): each node's trace is a random
+//     concatenation of segments drawn from a pool of base traces, so
+//     neighbouring nodes see effectively uncorrelated power;
+//   - dependent traces (bridge deployment): all nodes share one base trace
+//     and differ only by ~30% random per-node variance.
+//
+// This package provides a parametric solar-day irradiance model to generate
+// the base traces, the two per-node synthesis recipes above, and simple
+// constant/step traces for tests.
+package energytrace
+
+import (
+	"fmt"
+	"math"
+
+	"neofog/internal/units"
+)
+
+// Trace is a power-income signal. Implementations must be pure functions of
+// time so that simulations are reproducible.
+type Trace interface {
+	// PowerAt reports the instantaneous income power at time t. Times
+	// outside the trace's duration report zero.
+	PowerAt(t units.Duration) units.Power
+	// Duration reports the length of the trace.
+	Duration() units.Duration
+}
+
+// Integrate computes the energy delivered by tr between from and to by
+// sampling at the given step. It is exact for traces that are piecewise
+// constant at multiples of step (which all traces in this package are, when
+// integrated at their native resolution).
+func Integrate(tr Trace, from, to, step units.Duration) units.Energy {
+	if step <= 0 {
+		panic("energytrace: non-positive integration step")
+	}
+	if to < from {
+		from, to = to, from
+	}
+	var total units.Energy
+	for t := from; t < to; t += step {
+		dt := step
+		if t+dt > to {
+			dt = to - t
+		}
+		total += tr.PowerAt(t).Over(dt)
+	}
+	return total
+}
+
+// Constant is a trace with fixed power for a fixed duration.
+type Constant struct {
+	P   units.Power
+	Len units.Duration
+}
+
+// PowerAt implements Trace.
+func (c Constant) PowerAt(t units.Duration) units.Power {
+	if t < 0 || t >= c.Len {
+		return 0
+	}
+	return c.P
+}
+
+// Duration implements Trace.
+func (c Constant) Duration() units.Duration { return c.Len }
+
+// Sampled is a piecewise-constant trace: Samples[i] holds for
+// [i·Step, (i+1)·Step).
+type Sampled struct {
+	Step    units.Duration
+	Samples []units.Power
+}
+
+// NewSampled allocates a Sampled trace of n samples at the given step.
+func NewSampled(step units.Duration, n int) *Sampled {
+	if step <= 0 {
+		panic("energytrace: non-positive step")
+	}
+	return &Sampled{Step: step, Samples: make([]units.Power, n)}
+}
+
+// PowerAt implements Trace.
+func (s *Sampled) PowerAt(t units.Duration) units.Power {
+	if t < 0 {
+		return 0
+	}
+	i := int(t / s.Step)
+	if i >= len(s.Samples) {
+		return 0
+	}
+	return s.Samples[i]
+}
+
+// Duration implements Trace.
+func (s *Sampled) Duration() units.Duration {
+	return s.Step * units.Duration(len(s.Samples))
+}
+
+// Mean reports the average power over the whole trace.
+func (s *Sampled) Mean() units.Power {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Samples {
+		sum += float64(p)
+	}
+	return units.Power(sum / float64(len(s.Samples)))
+}
+
+// StdDev reports the standard deviation of power over the whole trace.
+func (s *Sampled) StdDev() units.Power {
+	n := len(s.Samples)
+	if n == 0 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var ss float64
+	for _, p := range s.Samples {
+		d := float64(p) - mean
+		ss += d * d
+	}
+	return units.Power(math.Sqrt(ss / float64(n)))
+}
+
+// Scale returns a copy of the trace with every sample multiplied by k.
+func (s *Sampled) Scale(k float64) *Sampled {
+	out := NewSampled(s.Step, len(s.Samples))
+	for i, p := range s.Samples {
+		out.Samples[i] = units.Power(float64(p) * k)
+	}
+	return out
+}
+
+// Slice returns the sub-trace covering samples [i, j).
+func (s *Sampled) Slice(i, j int) *Sampled {
+	if i < 0 || j > len(s.Samples) || i > j {
+		panic(fmt.Sprintf("energytrace: slice [%d,%d) out of range (len %d)", i, j, len(s.Samples)))
+	}
+	out := NewSampled(s.Step, j-i)
+	copy(out.Samples, s.Samples[i:j])
+	return out
+}
+
+// Concat joins traces with identical steps into one Sampled trace.
+func Concat(parts ...*Sampled) *Sampled {
+	if len(parts) == 0 {
+		panic("energytrace: Concat of nothing")
+	}
+	step := parts[0].Step
+	n := 0
+	for _, p := range parts {
+		if p.Step != step {
+			panic("energytrace: Concat with mismatched steps")
+		}
+		n += len(p.Samples)
+	}
+	out := NewSampled(step, 0)
+	out.Samples = make([]units.Power, 0, n)
+	for _, p := range parts {
+		out.Samples = append(out.Samples, p.Samples...)
+	}
+	return out
+}

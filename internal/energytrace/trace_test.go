@@ -1,0 +1,261 @@
+package energytrace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"neofog/internal/units"
+)
+
+func TestConstantTrace(t *testing.T) {
+	c := Constant{P: 5, Len: units.Second}
+	if c.PowerAt(0) != 5 || c.PowerAt(units.Second-1) != 5 {
+		t.Fatal("constant trace wrong inside range")
+	}
+	if c.PowerAt(-1) != 0 || c.PowerAt(units.Second) != 0 {
+		t.Fatal("constant trace should be zero outside range")
+	}
+	if got := Integrate(c, 0, units.Second, units.Millisecond); got != 5e6 {
+		t.Fatalf("Integrate = %v, want 5mJ", got)
+	}
+}
+
+func TestIntegratePartialStep(t *testing.T) {
+	c := Constant{P: 2, Len: units.Second}
+	// 1.5 ms at 1 ms steps: final partial step must not over-count.
+	got := Integrate(c, 0, 1500, units.Millisecond)
+	if got != 3000 {
+		t.Fatalf("Integrate over 1.5ms = %v nJ, want 3000", got)
+	}
+	// Reversed bounds behave as swapped.
+	if Integrate(c, 1500, 0, units.Millisecond) != got {
+		t.Fatal("Integrate should normalise reversed bounds")
+	}
+}
+
+func TestSampledTraceIndexing(t *testing.T) {
+	tr := NewSampled(units.Millisecond, 3)
+	tr.Samples[0], tr.Samples[1], tr.Samples[2] = 1, 2, 3
+	cases := []struct {
+		t units.Duration
+		p units.Power
+	}{
+		{0, 1}, {999, 1}, {1000, 2}, {2999, 3}, {3000, 0}, {-1, 0},
+	}
+	for _, c := range cases {
+		if got := tr.PowerAt(c.t); got != c.p {
+			t.Errorf("PowerAt(%d) = %v, want %v", c.t, got, c.p)
+		}
+	}
+	if tr.Duration() != 3*units.Millisecond {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestSampledStats(t *testing.T) {
+	tr := NewSampled(units.Second, 4)
+	tr.Samples = []units.Power{2, 4, 4, 6}
+	if tr.Mean() != 4 {
+		t.Fatalf("Mean = %v, want 4", tr.Mean())
+	}
+	want := math.Sqrt(2) // population stddev of {2,4,4,6}
+	if math.Abs(float64(tr.StdDev())-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", tr.StdDev(), want)
+	}
+}
+
+func TestScaleAndSliceAndConcat(t *testing.T) {
+	tr := NewSampled(units.Second, 4)
+	tr.Samples = []units.Power{1, 2, 3, 4}
+	s2 := tr.Scale(2)
+	if s2.Samples[3] != 8 || tr.Samples[3] != 4 {
+		t.Fatal("Scale must not mutate the original")
+	}
+	sl := tr.Slice(1, 3)
+	if len(sl.Samples) != 2 || sl.Samples[0] != 2 || sl.Samples[1] != 3 {
+		t.Fatalf("Slice = %v", sl.Samples)
+	}
+	cat := Concat(sl, sl)
+	if len(cat.Samples) != 4 || cat.Samples[2] != 2 {
+		t.Fatalf("Concat = %v", cat.Samples)
+	}
+}
+
+func TestSolarGenerateShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := SunnyDay()
+	tr := cfg.Generate(rng)
+	if tr.Duration() != cfg.DayEnd-cfg.DayStart {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	// Non-negative everywhere and bounded by peak with jitter headroom.
+	maxAllowed := float64(cfg.Peak+cfg.Floor) * (1 + 3*cfg.ShadeJitter)
+	for i, p := range tr.Samples {
+		if p < 0 {
+			t.Fatalf("negative power at sample %d", i)
+		}
+		if float64(p) > maxAllowed {
+			t.Fatalf("power %v exceeds bound %v at sample %d", p, maxAllowed, i)
+		}
+	}
+	// Diurnal shape: middle third must out-power the first and last 5%.
+	n := len(tr.Samples)
+	edge := tr.Slice(0, n/20).Mean() + tr.Slice(n-n/20, n).Mean()
+	mid := tr.Slice(n/3, 2*n/3).Mean()
+	if mid <= edge {
+		t.Fatalf("no diurnal envelope: mid %v <= edges %v", mid, edge)
+	}
+}
+
+func TestSolarDeterminism(t *testing.T) {
+	a := SunnyDay().Generate(rand.New(rand.NewSource(7)))
+	b := SunnyDay().Generate(rand.New(rand.NewSource(7)))
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("same seed diverged at sample %d", i)
+		}
+	}
+}
+
+func TestRegimeOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sunny := SunnyDay().Generate(rng).Mean()
+	overcast := OvercastDay().Generate(rng).Mean()
+	rainy := RainyDay().Generate(rng).Mean()
+	if !(sunny > overcast && overcast > rainy) {
+		t.Fatalf("regime means out of order: sunny=%v overcast=%v rainy=%v", sunny, overcast, rainy)
+	}
+	if rainy <= 0 {
+		t.Fatal("rainy day should still harvest something")
+	}
+}
+
+// Independent traces should be far less correlated across nodes than
+// dependent traces. This is the property §5.2 relies on.
+func TestIndependentVsDependentCorrelation(t *testing.T) {
+	cfg := SunnyDay()
+	cfg.Step = 10 * units.Second // keep the test fast
+	rng := rand.New(rand.NewSource(42))
+	ind := IndependentSet(cfg, 2, 5*units.Minute, rng)
+	dep := DependentSet(cfg, 2, 0.3, rng)
+
+	corrInd := correlation(ind[0], ind[1])
+	corrDep := correlation(dep[0], dep[1])
+	if corrDep < 0.8 {
+		t.Fatalf("dependent traces should be strongly correlated, got %v", corrDep)
+	}
+	if corrInd > corrDep-0.2 {
+		t.Fatalf("independent traces too correlated: ind=%v dep=%v", corrInd, corrDep)
+	}
+}
+
+func correlation(a, b *Sampled) float64 {
+	n := len(a.Samples)
+	ma, mb := float64(a.Mean()), float64(b.Mean())
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da := float64(a.Samples[i]) - ma
+		db := float64(b.Samples[i]) - mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+func TestIndependentSetSizes(t *testing.T) {
+	cfg := SunnyDay()
+	cfg.Step = 10 * units.Second
+	rng := rand.New(rand.NewSource(5))
+	set := IndependentSet(cfg, 5, 7*units.Minute, rng) // segment not divisible
+	want := int((cfg.DayEnd - cfg.DayStart) / cfg.Step)
+	for i, tr := range set {
+		if len(tr.Samples) != want {
+			t.Fatalf("node %d trace has %d samples, want %d", i, len(tr.Samples), want)
+		}
+	}
+}
+
+func TestDependentSetNonNegative(t *testing.T) {
+	cfg := RainyDay()
+	cfg.Step = 10 * units.Second
+	set := DependentSet(cfg, 20, 0.3, rand.New(rand.NewSource(9)))
+	for _, tr := range set {
+		for i, p := range tr.Samples {
+			if p < 0 {
+				t.Fatalf("negative power at sample %d", i)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := SunnyDay()
+	cfg.Step = time10s()
+	tr := cfg.Generate(rng)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step != tr.Step || len(back.Samples) != len(tr.Samples) {
+		t.Fatalf("shape mismatch: step %v/%v, n %d/%d", back.Step, tr.Step, len(back.Samples), len(tr.Samples))
+	}
+	for i := range tr.Samples {
+		if back.Samples[i] != tr.Samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, back.Samples[i], tr.Samples[i])
+		}
+	}
+}
+
+func time10s() units.Duration { return 10 * units.Second }
+
+func TestCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"time_us,power_mw\n0,1\n",                  // too short
+		"time_us,power_mw\n0,1\n500,1\n1500,1\n",   // irregular step
+		"time_us,power_mw\n0,1\n1000,-2\n2000,1\n", // negative power
+		"time_us,power_mw\nx,1\ny,1\nz,1\n",        // junk
+		"time_us,power_mw\n1000,1\n0,1\n",          // non-increasing
+	}
+	for i, src := range cases {
+		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+// Property: integrating any sampled trace at its native step equals the sum
+// of sample powers times the step.
+func TestIntegrateMatchesSum(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		tr := NewSampled(units.Millisecond, len(raw))
+		var want float64
+		for i, v := range raw {
+			tr.Samples[i] = units.Power(v)
+			want += float64(v) * 1000 // mW × 1000 µs
+		}
+		got := Integrate(tr, 0, tr.Duration(), tr.Step)
+		return math.Abs(float64(got)-want) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCameraStrategies(t *testing.T) {
+	r, err := Camera(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	wisp, rawZig, neo := r.Rows[0], r.Rows[1], r.Rows[2]
+
+	// Backscatter makes raw shipping nearly free: compression cannot pay
+	// there — which is why the deployed WispCam sends raw pixels
+	// (Table 1).
+	if wisp.EnergyPerFrame >= neo.EnergyPerFrame {
+		t.Fatalf("WispCam raw+backscatter (%v) should beat local compression (%v)",
+			wisp.EnergyPerFrame, neo.EnergyPerFrame)
+	}
+	// On an active radio, raw shipping dominates everything, and local
+	// DCT compression wins by >2× — the §3.1 tradeoff shift.
+	if rawZig.EnergyPerFrame < neo.EnergyPerFrame*2 {
+		t.Fatalf("raw Zigbee (%v) should cost ≥2× the NEOFog camera (%v)",
+			rawZig.EnergyPerFrame, neo.EnergyPerFrame)
+	}
+	if neo.FramesPerHour < rawZig.FramesPerHour*2 {
+		t.Fatalf("NEOFog camera rate %.2f should be ≥2× raw Zigbee %.2f",
+			neo.FramesPerHour, rawZig.FramesPerHour)
+	}
+	// The lossy path must remain usable imagery.
+	if neo.PSNR < 35 || math.IsInf(neo.PSNR, 1) {
+		t.Fatalf("PSNR = %v", neo.PSNR)
+	}
+	if neo.TxBytes >= wisp.TxBytes/5 {
+		t.Fatalf("compressed frame %d B should be ≤20%% of raw %d B", neo.TxBytes, wisp.TxBytes)
+	}
+	t.Logf("energy/frame: wisp=%v rawZig=%v neo=%v; frames/h: %.2f / %.2f / %.2f",
+		wisp.EnergyPerFrame, rawZig.EnergyPerFrame, neo.EnergyPerFrame,
+		wisp.FramesPerHour, rawZig.FramesPerHour, neo.FramesPerHour)
+}

@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neofog/internal/energytrace"
+	"neofog/internal/mesh"
+	"neofog/internal/metrics"
+	"neofog/internal/node"
+	"neofog/internal/sched"
+	"neofog/internal/sim"
+	"neofog/internal/units"
+	"neofog/internal/virt"
+)
+
+// SystemAverages summarises one system stack across power profiles.
+type SystemAverages struct {
+	Wakeups, Total, Fog, Cloud float64
+}
+
+// forestProfile synthesises one of the five independent forest power
+// profiles of §5.2.1: winds and leaf cover make neighbouring nodes'
+// income effectively uncorrelated.
+func forestProfile(profile int, nodes int, seed int64) []*energytrace.Sampled {
+	cfg := energytrace.SunnyDay()
+	cfg.Peak = units.Power(0.52 + 0.04*float64(profile))
+	cfg.CloudAttenuation = 0.55
+	cfg.ShadeJitter = 0.25
+	rng := rand.New(rand.NewSource(seed + int64(profile)*101))
+	traces := energytrace.IndependentSet(cfg, nodes, 5*units.Minute, rng)
+	// Canopy density differs persistently between spots (lognormal,
+	// ~0.6–1.7×); stronger bimodal shading regimes are explored by the
+	// Fig. 9 experiment, where the balancers' stored-energy effect is
+	// isolated.
+	for i, tr := range traces {
+		traces[i] = tr.Scale(math.Exp(rng.NormFloat64() * 0.5))
+	}
+	return traces
+}
+
+// bridgeProfile synthesises one of the five dependent bridge profiles of
+// §5.2.2: one base day trace shared by all nodes with ~30% per-node
+// variance.
+func bridgeProfile(day int, nodes int, seed int64) []*energytrace.Sampled {
+	cfg := energytrace.SunnyDay()
+	cfg.Peak = units.Power(0.50 + 0.05*float64(day))
+	cfg.CloudAttenuation = 0.65
+	rng := rand.New(rand.NewSource(seed + int64(day)*307))
+	return energytrace.DependentSet(cfg, nodes, 0.30, rng)
+}
+
+// figPackets runs the three systems over five power profiles and returns
+// the Fig. 10/11-style table plus per-system averages.
+func figPackets(title string, traceGen func(profile, nodes int, seed int64) []*energytrace.Sampled,
+	opts Options) (*metrics.Table, map[string]SystemAverages, error) {
+	opts = opts.withDefaults()
+	t := metrics.NewTable(title,
+		"Profile", "System", "Wakeups", "Total processed", "Fog processed", "Cloud processed")
+	avgs := map[string]SystemAverages{}
+	const profiles = 5
+	for p := 1; p <= profiles; p++ {
+		traces := traceGen(p, opts.Nodes, opts.Seed)
+		for _, s := range systems() {
+			r, err := runSystem(s.Kind, s.Bal, traces, opts, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			t.AddRow(metrics.Itoa(p), s.Name, metrics.Itoa(r.Wakeups),
+				metrics.Itoa(r.TotalProcessed()), metrics.Itoa(r.FogProcessed),
+				metrics.Itoa(r.CloudProcessed))
+			a := avgs[s.Name]
+			a.Wakeups += float64(r.Wakeups) / profiles
+			a.Total += float64(r.TotalProcessed()) / profiles
+			a.Fog += float64(r.FogProcessed) / profiles
+			a.Cloud += float64(r.CloudProcessed) / profiles
+			avgs[s.Name] = a
+		}
+	}
+	for _, s := range systems() {
+		a := avgs[s.Name]
+		t.AddRow("avg", s.Name, metrics.Ftoa(a.Wakeups, 0), metrics.Ftoa(a.Total, 0),
+			metrics.Ftoa(a.Fog, 0), metrics.Ftoa(a.Cloud, 0))
+	}
+	return t, avgs, nil
+}
+
+// Fig10Independent reproduces Fig. 10: packets captured and fog-processed
+// under five ample, independent power profiles.
+func Fig10Independent(opts Options) (*metrics.Table, map[string]SystemAverages, error) {
+	return figPackets("Fig. 10: independent power profiles (forest)", forestProfile, opts)
+}
+
+// Fig11Dependent reproduces Fig. 11: the bridge scenario's dependent
+// power profiles.
+func Fig11Dependent(opts Options) (*metrics.Table, map[string]SystemAverages, error) {
+	return figPackets("Fig. 11: dependent power profiles (bridge)", bridgeProfile, opts)
+}
+
+// Fig9Result carries the stored-energy series of Fig. 9 alongside the
+// summary table.
+type Fig9Result struct {
+	Table *metrics.Table
+	// Series maps system name → node index → stored energy per round.
+	Series map[string]map[int][]units.Energy
+	// Overflow maps system name → total energy rejected with full caps.
+	Overflow map[string]units.Energy
+}
+
+// Fig9StoredEnergy reproduces Fig. 9: the stored-energy traces of three
+// consecutive mid-chain nodes under daytime solar with strong per-node
+// variance. Without load balancing, energy-rich nodes run out of local
+// work, their capacitors sit full and income is rejected; both balancers
+// shed that energy into neighbours' stranded tasks, and the proposed
+// distributed scheme sheds the most. (The paper's no-LB reference is a VP
+// node; our VP's software-RF burn rate exceeds any harvest it can store,
+// so the no-LB reference here is the same NVP stack without balancing —
+// see EXPERIMENTS.md.)
+func Fig9StoredEnergy(opts Options) (*Fig9Result, error) {
+	opts = opts.withDefaults()
+	cfg := energytrace.SunnyDay()
+	cfg.Peak = 4.4
+	cfg.CloudAttenuation = 0.45
+	record := []int{3, 4, 5}
+	// Deck shadow along the bridge gives consecutive cable nodes very
+	// different exposure: one shaded, one half-lit, one in full sun. This
+	// is the stored-energy imbalance Fig. 9 visualises.
+	gains := []float64{0.35, 1.0, 1.8}
+
+	out := &Fig9Result{
+		Table:    metrics.NewTable("Fig. 9: stored energy of 3 consecutive nodes", "System", "Node", "Mean stored", "Max stored", "Overflowed"),
+		Series:   map[string]map[int][]units.Energy{},
+		Overflow: map[string]units.Energy{},
+	}
+	for _, s := range lbVariants() {
+		traces := energytrace.DependentSet(cfg, opts.Nodes, 0.15, rand.New(rand.NewSource(opts.Seed)))
+		for i, tr := range traces {
+			traces[i] = tr.Scale(gains[i%len(gains)])
+		}
+		r, err := runSystem(s.Kind, s.Bal, traces, opts, func(c *sim.Config) {
+			c.RecordEnergy = record
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Series[s.Name] = r.EnergySeries
+		var systemOverflow units.Energy
+		for _, st := range r.PerNode {
+			systemOverflow += st.Overflow
+		}
+		out.Overflow[s.Name] = systemOverflow
+		for _, idx := range record {
+			series := r.EnergySeries[idx]
+			var sum, max units.Energy
+			for _, e := range series {
+				sum += e
+				if e > max {
+					max = e
+				}
+			}
+			mean := units.Energy(0)
+			if len(series) > 0 {
+				mean = sum / units.Energy(len(series))
+			}
+			out.Table.AddRow(s.Name, metrics.Itoa(idx), mean.String(), max.String(),
+				r.PerNode[idx].Overflow.String())
+		}
+	}
+	return out, nil
+}
+
+// MultiplexPoint is one bar of Figs. 12–13.
+type MultiplexPoint struct {
+	Label        string
+	Multiplexing int // 0 for the VP reference bar
+	Fog          int
+	Samples      int
+}
+
+// figMultiplex runs the NVD4Q multiplexing sweep: a VP reference system,
+// then FIOS-NEOFog at 100%..500% clone multiplexing. The kernel is the
+// lighter mountain-monitoring pipeline (volumetric/slide detection), which
+// even a VP can execute — the paper's Figs. 12–13 show VP in-fog counts.
+func figMultiplex(title string, trace func(nodes int, seed int64) []*energytrace.Sampled,
+	opts Options) (*metrics.Table, []MultiplexPoint, error) {
+	opts = opts.withDefaults()
+	const kernel = 800 // insts/byte: slide-detection pipeline fits a VP slot
+	t := metrics.NewTable(title, "System", "Physical nodes", "Fog processed", "Samples")
+	var points []MultiplexPoint
+
+	light := func(c *sim.Config) { c.Node.FogInstsPerByte = kernel }
+
+	// VP reference.
+	vpTraces := trace(opts.Nodes, opts.Seed)
+	vp, err := runSystem(node.NOSVP, sched.NoBalance{}, vpTraces, opts, light)
+	if err != nil {
+		return nil, nil, err
+	}
+	t.AddRow("VP w/o LB", metrics.Itoa(opts.Nodes), metrics.Itoa(vp.FogProcessed), metrics.Itoa(samplesOf(vp)))
+	points = append(points, MultiplexPoint{Label: "VP w/o LB", Fog: vp.FogProcessed, Samples: samplesOf(vp)})
+
+	for factor := 1; factor <= 5; factor++ {
+		physical := opts.Nodes * factor
+		traces := trace(physical, opts.Seed+int64(factor))
+		sets, err := cloneSets(opts.Nodes, physical, opts.Seed+int64(factor))
+		if err != nil {
+			return nil, nil, err
+		}
+		r, err := runSystem(node.FIOSNVMote, sched.Distributed{}, traces, opts, func(c *sim.Config) {
+			light(c)
+			if factor > 1 {
+				c.CloneSets = sets
+			}
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		label := fmt.Sprintf("NEOFog %d00%%", factor)
+		t.AddRow(label, metrics.Itoa(physical), metrics.Itoa(r.FogProcessed), metrics.Itoa(samplesOf(r)))
+		points = append(points, MultiplexPoint{Label: label, Multiplexing: factor,
+			Fog: r.FogProcessed, Samples: samplesOf(r)})
+	}
+	return t, points, nil
+}
+
+// lbVariants are the Fig. 9 rows: the same NVP node stack under the three
+// load-balancing policies.
+func lbVariants() []struct {
+	Name string
+	Kind node.SystemKind
+	Bal  sched.Balancer
+} {
+	return []struct {
+		Name string
+		Kind node.SystemKind
+		Bal  sched.Balancer
+	}{
+		{"NVP without LB", node.NOSNVP, sched.NoBalance{}},
+		{"NVP baseline LB", node.NOSNVP, sched.BaselineTree{}},
+		{"NVP proposed distributed LB", node.NOSNVP, sched.Distributed{}},
+	}
+}
+
+func samplesOf(r sim.Result) int {
+	total := 0
+	for _, s := range r.PerNode {
+		total += s.Samples
+	}
+	return total
+}
+
+// cloneSets builds NVD4Q clone sets: the first `anchors` physical nodes
+// sit on the monitored line; the joiners land near random positions along
+// it (aerial dispersion) and adopt the closest anchor's identity.
+func cloneSets(anchors, physical int, seed int64) ([]virt.LogicalNode, error) {
+	rng := rand.New(rand.NewSource(seed))
+	positions := mesh.LineDeployment(anchors, 90)
+	for i := anchors; i < physical; i++ {
+		positions = append(positions, mesh.Position{X: rng.Float64() * 90, Y: (rng.Float64()*2 - 1) * 5})
+	}
+	return virt.BuildCloneSets(positions, anchors)
+}
+
+// Fig12MultiplexHigh reproduces Fig. 12: multiplexing under high income
+// with large independent variance (sunny mountain day). In-fog processing
+// is already high at 100%, so NVD4Q adds little.
+func Fig12MultiplexHigh(opts Options) (*metrics.Table, []MultiplexPoint, error) {
+	gen := func(nodes int, seed int64) []*energytrace.Sampled {
+		cfg := energytrace.SunnyDay()
+		cfg.Peak = 2.0
+		cfg.CloudAttenuation = 0.35
+		cfg.ShadeJitter = 0.3
+		return energytrace.IndependentSet(cfg, nodes, 5*units.Minute, rand.New(rand.NewSource(seed)))
+	}
+	return figMultiplex("Fig. 12: multiplexing, high power with large independent variance", gen, opts)
+}
+
+// Fig13MultiplexLow reproduces Fig. 13: multiplexing during inclement
+// weather — the condition slides actually occur in. Gains grow up to ~3×
+// multiplexing, then saturate against the reduced sampling ceiling.
+func Fig13MultiplexLow(opts Options) (*metrics.Table, []MultiplexPoint, error) {
+	gen := func(nodes int, seed int64) []*energytrace.Sampled {
+		cfg := energytrace.RainyDay()
+		cfg.Peak = 0.5
+		return energytrace.DependentSet(cfg, nodes, 0.3, rand.New(rand.NewSource(seed)))
+	}
+	return figMultiplex("Fig. 13: multiplexing, very low power with dependent variance", gen, opts)
+}
+
+// HeadlineResult carries the paper's §1/§7 headline ratios.
+type HeadlineResult struct {
+	Table *metrics.Table
+	// FogGain1x is in-fog processing of NEOFog at baseline node count over
+	// the VP baseline (paper: 4.2×); FogGain3x the same at 3× multiplexing
+	// (paper: 8×).
+	FogGain1x, FogGain3x float64
+}
+
+// Headline computes the combined headline of the paper from the Fig. 13
+// regime: NV-aware optimizations increase in-fog processing ~4× at
+// baseline node count and ~8× at 3× multiplexing.
+func Headline(opts Options) (*HeadlineResult, error) {
+	_, points, err := Fig13MultiplexLow(opts)
+	if err != nil {
+		return nil, err
+	}
+	vp := points[0].Fog
+	var at1, at3 int
+	for _, p := range points {
+		switch p.Multiplexing {
+		case 1:
+			at1 = p.Fog
+		case 3:
+			at3 = p.Fog
+		}
+	}
+	if vp == 0 {
+		return nil, fmt.Errorf("experiments: VP processed nothing; headline undefined")
+	}
+	res := &HeadlineResult{
+		Table:     metrics.NewTable("Headline: in-fog processing gains", "Configuration", "Fog processed", "Gain vs VP"),
+		FogGain1x: float64(at1) / float64(vp),
+		FogGain3x: float64(at3) / float64(vp),
+	}
+	res.Table.AddRow("VP w/o LB", metrics.Itoa(vp), "1.0×")
+	res.Table.AddRow("NEOFog 100%", metrics.Itoa(at1), metrics.Ftoa(res.FogGain1x, 1)+"×")
+	res.Table.AddRow("NEOFog 300%", metrics.Itoa(at3), metrics.Ftoa(res.FogGain3x, 1)+"×")
+	return res, nil
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+// §2.1's measured WispCam energy distribution: more than half the income
+// is wasted charging, sensing takes ~20%, computation+transmission 20-40%
+// even over backscatter.
+func TestWispCamEnergyDistribution(t *testing.T) {
+	r := WispCam()
+	if r.WastedFrac <= 0.5 {
+		t.Fatalf("wasted fraction %.2f, paper says more than half", r.WastedFrac)
+	}
+	if r.SensingFrac < 0.15 || r.SensingFrac > 0.25 {
+		t.Fatalf("sensing fraction %.2f, paper says ~20%%", r.SensingFrac)
+	}
+	if r.ComputeTxFrac < 0.20 || r.ComputeTxFrac > 0.40 {
+		t.Fatalf("compute+TX fraction %.2f, paper says 20-40%%", r.ComputeTxFrac)
+	}
+	// Energy conservation: what the burst spends must have been stored.
+	if r.Leftover < 0 || r.Stored <= 0 {
+		t.Fatalf("implausible energy state: %+v", r)
+	}
+	if len(r.Table.Rows) != 5 {
+		t.Fatalf("table rows = %d", len(r.Table.Rows))
+	}
+	t.Logf("wasted=%.0f%% sensing=%.0f%% compute+tx=%.0f%%",
+		r.WastedFrac*100, r.SensingFrac*100, r.ComputeTxFrac*100)
+}

@@ -1,0 +1,383 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small 8051 assembly dialect into machine code for
+// the implemented subset. Labels end with ':', comments start with ';',
+// numbers are decimal or 0x-hex, immediates use '#'. The pseudo-op HALT
+// emits the canonical SJMP-to-self halt idiom.
+func Assemble(src string) ([]byte, error) {
+	lines := strings.Split(src, "\n")
+
+	type inst struct {
+		line   int
+		mnem   string
+		args   []string
+		addr   uint16
+		size   int
+		encode func(addr uint16, labels map[string]uint16) ([]byte, error)
+	}
+	var insts []inst
+	labels := map[string]uint16{}
+
+	// First pass: tokenise, size, and place labels.
+	addr := uint16(0)
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("isa: line %d: bad label %q", ln+1, label)
+			}
+			label = strings.ToUpper(label) // the tokeniser uppercases operands
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("isa: line %d: duplicate label %q", ln+1, label)
+			}
+			labels[label] = addr
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := strings.ToUpper(fields[0])
+		argStr := strings.Join(fields[1:], "")
+		var args []string
+		if argStr != "" {
+			for _, a := range strings.Split(argStr, ",") {
+				args = append(args, strings.ToUpper(strings.TrimSpace(a)))
+			}
+		}
+		in := inst{line: ln + 1, mnem: mnem, args: args, addr: addr}
+		size, enc, err := plan(mnem, args, ln+1)
+		if err != nil {
+			return nil, err
+		}
+		in.size, in.encode = size, enc
+		addr += uint16(size)
+		insts = append(insts, in)
+	}
+
+	// Second pass: encode with resolved labels. Relative offsets are
+	// computed from the instruction end.
+	var out []byte
+	for _, in := range insts {
+		b, err := in.encode(in.addr, labels)
+		if err != nil {
+			return nil, err
+		}
+		if len(b) != in.size {
+			return nil, fmt.Errorf("isa: line %d: size drift (%d vs %d)", in.line, len(b), in.size)
+		}
+		out = append(out, b...)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("isa: empty program")
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble for tests and examples with known-good sources.
+func MustAssemble(src string) []byte {
+	b, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func num(s string) (int, error) {
+	ls := strings.ToLower(s)
+	if strings.HasPrefix(ls, "0x") {
+		v, err := strconv.ParseInt(ls[2:], 16, 32)
+		return int(v), err
+	}
+	v, err := strconv.ParseInt(ls, 10, 32)
+	return int(v), err
+}
+
+func regNum(s string) (byte, bool) {
+	if len(s) == 2 && s[0] == 'R' && s[1] >= '0' && s[1] <= '7' {
+		return s[1] - '0', true
+	}
+	return 0, false
+}
+
+func imm8(s string, line int) (byte, error) {
+	if !strings.HasPrefix(s, "#") {
+		return 0, fmt.Errorf("isa: line %d: expected immediate, got %q", line, s)
+	}
+	v, err := num(s[1:])
+	if err != nil || v < -128 || v > 255 {
+		return 0, fmt.Errorf("isa: line %d: bad immediate %q", line, s)
+	}
+	return byte(v), nil
+}
+
+func direct8(s string, line int) (byte, error) {
+	v, err := num(s)
+	if err != nil || v < 0 || v > 255 {
+		return 0, fmt.Errorf("isa: line %d: bad direct address %q", line, s)
+	}
+	return byte(v), nil
+}
+
+// relTo computes a relative branch byte from the end of an instruction at
+// base+size to a label.
+func relTo(labels map[string]uint16, label string, end uint16, line int) (byte, error) {
+	dst, ok := labels[label]
+	if !ok {
+		return 0, fmt.Errorf("isa: line %d: unknown label %q", line, label)
+	}
+	off := int(dst) - int(end)
+	if off < -128 || off > 127 {
+		return 0, fmt.Errorf("isa: line %d: branch to %q out of range (%d)", line, label, off)
+	}
+	return byte(int8(off)), nil
+}
+
+// encoder emits an instruction's bytes given its own address (for
+// relative branches) and the label table.
+type encoder func(addr uint16, labels map[string]uint16) ([]byte, error)
+
+// plan returns the instruction size and its encoder.
+func plan(mnem string, args []string, line int) (int, encoder, error) {
+	fixed := func(b ...byte) (int, encoder, error) {
+		return len(b), func(uint16, map[string]uint16) ([]byte, error) { return b, nil }, nil
+	}
+	bad := func() (int, encoder, error) {
+		return 0, nil, fmt.Errorf("isa: line %d: cannot encode %s %s", line, mnem, strings.Join(args, ","))
+	}
+	arg := func(i int) string {
+		if i < len(args) {
+			return args[i]
+		}
+		return ""
+	}
+
+	switch mnem {
+	case "NOP":
+		return fixed(0x00)
+	case "HALT":
+		return fixed(0x80, 0xFE) // SJMP $
+	case "RET":
+		return fixed(0x22)
+	case "MUL":
+		if arg(0) == "AB" {
+			return fixed(0xA4)
+		}
+	case "DIV":
+		if arg(0) == "AB" {
+			return fixed(0x84)
+		}
+	case "CLR":
+		switch arg(0) {
+		case "A":
+			return fixed(0xE4)
+		case "C":
+			return fixed(0xC3)
+		}
+	case "SETB":
+		if arg(0) == "C" {
+			return fixed(0xD3)
+		}
+	case "CPL":
+		if arg(0) == "A" {
+			return fixed(0xF4)
+		}
+	case "SWAP":
+		if arg(0) == "A" {
+			return fixed(0xC4)
+		}
+	case "RL":
+		if arg(0) == "A" {
+			return fixed(0x23)
+		}
+	case "RR":
+		if arg(0) == "A" {
+			return fixed(0x03)
+		}
+	case "INC":
+		switch {
+		case arg(0) == "A":
+			return fixed(0x04)
+		case arg(0) == "DPTR":
+			return fixed(0xA3)
+		default:
+			if r, ok := regNum(arg(0)); ok {
+				return fixed(0x08 | r)
+			}
+		}
+	case "DEC":
+		switch {
+		case arg(0) == "A":
+			return fixed(0x14)
+		default:
+			if r, ok := regNum(arg(0)); ok {
+				return fixed(0x18 | r)
+			}
+		}
+	case "MOVX":
+		switch {
+		case arg(0) == "A" && arg(1) == "@DPTR":
+			return fixed(0xE0)
+		case arg(0) == "@DPTR" && arg(1) == "A":
+			return fixed(0xF0)
+		}
+	case "MOV":
+		a, b := arg(0), arg(1)
+		switch {
+		case a == "DPTR" && strings.HasPrefix(b, "#"):
+			v, err := num(b[1:])
+			if err != nil || v < 0 || v > 0xFFFF {
+				return bad()
+			}
+			return fixed(0x90, byte(v>>8), byte(v))
+		case a == "A" && strings.HasPrefix(b, "#"):
+			v, err := imm8(b, line)
+			if err != nil {
+				return 0, nil, err
+			}
+			return fixed(0x74, v)
+		case a == "A" && b == "@R0":
+			return fixed(0xE6)
+		case a == "A" && b == "@R1":
+			return fixed(0xE7)
+		case a == "@R0" && b == "A":
+			return fixed(0xF6)
+		case a == "@R1" && b == "A":
+			return fixed(0xF7)
+		case a == "A":
+			if r, ok := regNum(b); ok {
+				return fixed(0xE8 | r)
+			}
+			d, err := direct8(b, line)
+			if err != nil {
+				return 0, nil, err
+			}
+			return fixed(0xE5, d)
+		case b == "A":
+			if r, ok := regNum(a); ok {
+				return fixed(0xF8 | r)
+			}
+			d, err := direct8(a, line)
+			if err != nil {
+				return 0, nil, err
+			}
+			return fixed(0xF5, d)
+		case strings.HasPrefix(b, "#"):
+			v, err := imm8(b, line)
+			if err != nil {
+				return 0, nil, err
+			}
+			if r, ok := regNum(a); ok {
+				return fixed(0x78|r, v)
+			}
+			d, err := direct8(a, line)
+			if err != nil {
+				return 0, nil, err
+			}
+			return fixed(0x75, d, v)
+		}
+	case "ADD", "ADDC", "SUBB", "ANL", "ORL", "XRL":
+		if arg(0) != "A" {
+			return bad()
+		}
+		base := map[string][2]byte{
+			"ADD": {0x24, 0x28}, "ADDC": {0x34, 0x38}, "SUBB": {0x94, 0x98},
+			"ANL": {0x54, 0x58}, "ORL": {0x44, 0x48}, "XRL": {0x64, 0x68},
+		}[mnem]
+		b := arg(1)
+		if strings.HasPrefix(b, "#") {
+			v, err := imm8(b, line)
+			if err != nil {
+				return 0, nil, err
+			}
+			return fixed(base[0], v)
+		}
+		if r, ok := regNum(b); ok {
+			return fixed(base[1] | r)
+		}
+	case "PUSH":
+		d, err := direct8(arg(0), line)
+		if err != nil {
+			return 0, nil, err
+		}
+		return fixed(0xC0, d)
+	case "POP":
+		d, err := direct8(arg(0), line)
+		if err != nil {
+			return 0, nil, err
+		}
+		return fixed(0xD0, d)
+
+	// Label-consuming instructions.
+	case "SJMP", "JZ", "JNZ", "JC", "JNC":
+		op := map[string]byte{"SJMP": 0x80, "JZ": 0x60, "JNZ": 0x70, "JC": 0x40, "JNC": 0x50}[mnem]
+		label := arg(0)
+		return 2, func(addr uint16, labels map[string]uint16) ([]byte, error) {
+			off, err := relTo(labels, label, addr+2, line)
+			if err != nil {
+				return nil, err
+			}
+			return []byte{op, off}, nil
+		}, nil
+	case "LJMP", "LCALL":
+		op := map[string]byte{"LJMP": 0x02, "LCALL": 0x12}[mnem]
+		label := arg(0)
+		return 3, func(_ uint16, labels map[string]uint16) ([]byte, error) {
+			dst, ok := labels[label]
+			if !ok {
+				return nil, fmt.Errorf("isa: line %d: unknown label %q", line, label)
+			}
+			return []byte{op, byte(dst >> 8), byte(dst)}, nil
+		}, nil
+	case "DJNZ":
+		r, ok := regNum(arg(0))
+		if !ok {
+			return bad()
+		}
+		label := arg(1)
+		return 2, func(addr uint16, labels map[string]uint16) ([]byte, error) {
+			off, err := relTo(labels, label, addr+2, line)
+			if err != nil {
+				return nil, err
+			}
+			return []byte{0xD8 | r, off}, nil
+		}, nil
+	case "CJNE":
+		var op byte
+		if arg(0) == "A" {
+			op = 0xB4
+		} else if r, ok := regNum(arg(0)); ok {
+			op = 0xB8 | r
+		} else {
+			return bad()
+		}
+		v, err := imm8(arg(1), line)
+		if err != nil {
+			return 0, nil, err
+		}
+		label := arg(2)
+		return 3, func(addr uint16, labels map[string]uint16) ([]byte, error) {
+			off, err := relTo(labels, label, addr+3, line)
+			if err != nil {
+				return nil, err
+			}
+			return []byte{op, v, off}, nil
+		}, nil
+	}
+	return bad()
+}

@@ -1,0 +1,422 @@
+// Package isa is an executable instruction-set simulator for the 8051
+// core the paper's node-level simulator is built around ("at the core of
+// which is a modified 8051 RTL", §4). It implements the instruction subset
+// the fog kernels' inner loops compile to, counts machine cycles with the
+// classic 12-clocks-per-cycle timing that calibrates internal/cpu, and —
+// the point of the exercise — supports whole-state nonvolatile snapshot
+// and restore, so tests can prove the NVP's crash-consistency property:
+// a program interrupted by arbitrary power failures, checkpointed, and
+// resumed computes exactly what an uninterrupted run computes.
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Memory sizes of the modelled core.
+const (
+	IRAMSize = 256   // internal RAM (registers, stack, scratch)
+	XRAMSize = 65536 // external RAM (the NVBuffer window)
+	CodeSize = 65536
+)
+
+// PSW bits.
+const (
+	flagCY = 0x80 // carry
+	flagAC = 0x40 // auxiliary carry
+	flagOV = 0x04 // overflow
+)
+
+// Core is the architectural state of the 8051-class MCU.
+type Core struct {
+	ACC, B, PSW, SP byte
+	DPTR            uint16
+	PC              uint16
+	IRAM            [IRAMSize]byte
+	XRAM            []byte
+	code            []byte
+
+	// Cycles counts machine cycles executed (×12 clocks each); Insts
+	// counts instructions retired. Cycles/Insts is the observed CPI.
+	Cycles uint64
+	Insts  uint64
+	// Halted is set when the program executes the halt idiom (SJMP to
+	// itself) or runs past its code.
+	Halted bool
+}
+
+// New builds a core with the given program loaded at address 0.
+func New(program []byte) (*Core, error) {
+	if len(program) == 0 || len(program) > CodeSize {
+		return nil, fmt.Errorf("isa: program size %d out of range", len(program))
+	}
+	c := &Core{XRAM: make([]byte, XRAMSize), SP: 0x07}
+	c.code = make([]byte, len(program))
+	copy(c.code, program)
+	return c, nil
+}
+
+// reg returns a pointer to Rn of the active bank (bank selection bits are
+// honoured via PSW bits 3-4).
+func (c *Core) reg(n byte) *byte {
+	bank := (c.PSW >> 3) & 0x03
+	return &c.IRAM[bank*8+n]
+}
+
+func (c *Core) fetch() byte {
+	if int(c.PC) >= len(c.code) {
+		c.Halted = true
+		return 0x00 // NOP
+	}
+	op := c.code[c.PC]
+	c.PC++
+	return op
+}
+
+func (c *Core) fetch16() uint16 {
+	hi := c.fetch()
+	lo := c.fetch()
+	return uint16(hi)<<8 | uint16(lo)
+}
+
+func (c *Core) setCY(v bool) {
+	if v {
+		c.PSW |= flagCY
+	} else {
+		c.PSW &^= flagCY
+	}
+}
+
+func (c *Core) cy() byte { return (c.PSW & flagCY) >> 7 }
+
+func (c *Core) setOV(v bool) {
+	if v {
+		c.PSW |= flagOV
+	} else {
+		c.PSW &^= flagOV
+	}
+}
+
+func (c *Core) push(v byte) {
+	c.SP++
+	c.IRAM[c.SP] = v
+}
+
+func (c *Core) pop() byte {
+	v := c.IRAM[c.SP]
+	c.SP--
+	return v
+}
+
+func (c *Core) rel(off byte) uint16 {
+	return uint16(int32(c.PC) + int32(int8(off)))
+}
+
+// ErrIllegal reports an opcode outside the implemented subset.
+var ErrIllegal = errors.New("isa: illegal or unimplemented opcode")
+
+// Step executes one instruction. It returns ErrIllegal (wrapped with the
+// opcode and PC) on an unimplemented encoding.
+func (c *Core) Step() error {
+	if c.Halted {
+		return nil
+	}
+	at := c.PC
+	op := c.fetch()
+	if c.Halted {
+		return nil
+	}
+	c.Insts++
+
+	switch {
+	case op == 0x00: // NOP
+		c.Cycles++
+
+	// --- moves ---
+	case op == 0x74: // MOV A,#imm
+		c.ACC = c.fetch()
+		c.Cycles++
+	case op&0xF8 == 0xE8: // MOV A,Rn
+		c.ACC = *c.reg(op & 0x07)
+		c.Cycles++
+	case op&0xF8 == 0xF8: // MOV Rn,A
+		*c.reg(op & 0x07) = c.ACC
+		c.Cycles++
+	case op&0xF8 == 0x78: // MOV Rn,#imm
+		*c.reg(op & 0x07) = c.fetch()
+		c.Cycles++
+	case op == 0xE5: // MOV A,direct
+		c.ACC = c.direct(c.fetch())
+		c.Cycles++
+	case op == 0xF5: // MOV direct,A
+		c.setDirect(c.fetch(), c.ACC)
+		c.Cycles++
+	case op == 0x75: // MOV direct,#imm
+		d := c.fetch()
+		c.setDirect(d, c.fetch())
+		c.Cycles += 2
+	case op == 0x90: // MOV DPTR,#imm16
+		c.DPTR = c.fetch16()
+		c.Cycles += 2
+	case op&0xFE == 0xE6: // MOV A,@Ri
+		c.ACC = c.IRAM[*c.reg(op & 0x01)]
+		c.Cycles++
+	case op&0xFE == 0xF6: // MOV @Ri,A
+		c.IRAM[*c.reg(op & 0x01)] = c.ACC
+		c.Cycles++
+
+	// --- external RAM ---
+	case op == 0xE0: // MOVX A,@DPTR
+		c.ACC = c.XRAM[c.DPTR]
+		c.Cycles += 2
+	case op == 0xF0: // MOVX @DPTR,A
+		c.XRAM[c.DPTR] = c.ACC
+		c.Cycles += 2
+	case op == 0xA3: // INC DPTR
+		c.DPTR++
+		c.Cycles += 2
+
+	// --- arithmetic ---
+	case op == 0x24: // ADD A,#imm
+		c.add(c.fetch(), 0)
+		c.Cycles++
+	case op&0xF8 == 0x28: // ADD A,Rn
+		c.add(*c.reg(op & 0x07), 0)
+		c.Cycles++
+	case op == 0x34: // ADDC A,#imm
+		c.add(c.fetch(), c.cy())
+		c.Cycles++
+	case op&0xF8 == 0x38: // ADDC A,Rn
+		c.add(*c.reg(op & 0x07), c.cy())
+		c.Cycles++
+	case op == 0x94: // SUBB A,#imm
+		c.subb(c.fetch())
+		c.Cycles++
+	case op&0xF8 == 0x98: // SUBB A,Rn
+		c.subb(*c.reg(op & 0x07))
+		c.Cycles++
+	case op == 0x04: // INC A
+		c.ACC++
+		c.Cycles++
+	case op&0xF8 == 0x08: // INC Rn
+		*c.reg(op & 0x07)++
+		c.Cycles++
+	case op == 0x14: // DEC A
+		c.ACC--
+		c.Cycles++
+	case op&0xF8 == 0x18: // DEC Rn
+		*c.reg(op & 0x07)--
+		c.Cycles++
+	case op == 0xA4: // MUL AB
+		p := uint16(c.ACC) * uint16(c.B)
+		c.ACC = byte(p)
+		c.B = byte(p >> 8)
+		c.setCY(false)
+		c.setOV(p > 0xFF)
+		c.Cycles += 4
+	case op == 0x84: // DIV AB
+		if c.B == 0 {
+			c.setOV(true)
+		} else {
+			q, r := c.ACC/c.B, c.ACC%c.B
+			c.ACC, c.B = q, r
+			c.setOV(false)
+		}
+		c.setCY(false)
+		c.Cycles += 4
+
+	// --- logic ---
+	case op == 0x54: // ANL A,#imm
+		c.ACC &= c.fetch()
+		c.Cycles++
+	case op&0xF8 == 0x58: // ANL A,Rn
+		c.ACC &= *c.reg(op & 0x07)
+		c.Cycles++
+	case op == 0x44: // ORL A,#imm
+		c.ACC |= c.fetch()
+		c.Cycles++
+	case op&0xF8 == 0x48: // ORL A,Rn
+		c.ACC |= *c.reg(op & 0x07)
+		c.Cycles++
+	case op == 0x64: // XRL A,#imm
+		c.ACC ^= c.fetch()
+		c.Cycles++
+	case op&0xF8 == 0x68: // XRL A,Rn
+		c.ACC ^= *c.reg(op & 0x07)
+		c.Cycles++
+	case op == 0xE4: // CLR A
+		c.ACC = 0
+		c.Cycles++
+	case op == 0xF4: // CPL A
+		c.ACC = ^c.ACC
+		c.Cycles++
+	case op == 0xC4: // SWAP A
+		c.ACC = c.ACC<<4 | c.ACC>>4
+		c.Cycles++
+	case op == 0x23: // RL A
+		c.ACC = c.ACC<<1 | c.ACC>>7
+		c.Cycles++
+	case op == 0x03: // RR A
+		c.ACC = c.ACC>>1 | c.ACC<<7
+		c.Cycles++
+	case op == 0xC3: // CLR C
+		c.setCY(false)
+		c.Cycles++
+	case op == 0xD3: // SETB C
+		c.setCY(true)
+		c.Cycles++
+
+	// --- control flow ---
+	case op == 0x80: // SJMP rel
+		off := c.fetch()
+		dst := c.rel(off)
+		if dst == at {
+			c.Halted = true // canonical halt: SJMP $
+		}
+		c.PC = dst
+		c.Cycles += 2
+	case op == 0x02: // LJMP addr16
+		c.PC = c.fetch16()
+		c.Cycles += 2
+	case op == 0x60: // JZ rel
+		off := c.fetch()
+		if c.ACC == 0 {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op == 0x70: // JNZ rel
+		off := c.fetch()
+		if c.ACC != 0 {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op == 0x40: // JC rel
+		off := c.fetch()
+		if c.cy() == 1 {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op == 0x50: // JNC rel
+		off := c.fetch()
+		if c.cy() == 0 {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op&0xF8 == 0xD8: // DJNZ Rn,rel
+		r := c.reg(op & 0x07)
+		*r--
+		off := c.fetch()
+		if *r != 0 {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op == 0xB4: // CJNE A,#imm,rel
+		imm := c.fetch()
+		off := c.fetch()
+		c.setCY(c.ACC < imm)
+		if c.ACC != imm {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op&0xF8 == 0xB8: // CJNE Rn,#imm,rel
+		r := *c.reg(op & 0x07)
+		imm := c.fetch()
+		off := c.fetch()
+		c.setCY(r < imm)
+		if r != imm {
+			c.PC = c.rel(off)
+		}
+		c.Cycles += 2
+	case op == 0x12: // LCALL addr16
+		dst := c.fetch16()
+		c.push(byte(c.PC))
+		c.push(byte(c.PC >> 8))
+		c.PC = dst
+		c.Cycles += 2
+	case op == 0x22: // RET
+		hi := c.pop()
+		lo := c.pop()
+		c.PC = uint16(hi)<<8 | uint16(lo)
+		c.Cycles += 2
+	case op == 0xC0: // PUSH direct
+		c.push(c.direct(c.fetch()))
+		c.Cycles += 2
+	case op == 0xD0: // POP direct
+		c.setDirect(c.fetch(), c.pop())
+		c.Cycles += 2
+
+	default:
+		return fmt.Errorf("%w: 0x%02X at 0x%04X", ErrIllegal, op, at)
+	}
+	return nil
+}
+
+// direct reads a direct address: 0x00–0x7F is IRAM; the SFR space maps the
+// registers this subset exposes.
+func (c *Core) direct(addr byte) byte {
+	switch addr {
+	case 0xE0:
+		return c.ACC
+	case 0xF0:
+		return c.B
+	case 0xD0:
+		return c.PSW
+	case 0x81:
+		return c.SP
+	case 0x82:
+		return byte(c.DPTR)
+	case 0x83:
+		return byte(c.DPTR >> 8)
+	default:
+		return c.IRAM[addr&0x7F]
+	}
+}
+
+func (c *Core) setDirect(addr, v byte) {
+	switch addr {
+	case 0xE0:
+		c.ACC = v
+	case 0xF0:
+		c.B = v
+	case 0xD0:
+		c.PSW = v
+	case 0x81:
+		c.SP = v
+	case 0x82:
+		c.DPTR = c.DPTR&0xFF00 | uint16(v)
+	case 0x83:
+		c.DPTR = c.DPTR&0x00FF | uint16(v)<<8
+	default:
+		c.IRAM[addr&0x7F] = v
+	}
+}
+
+func (c *Core) add(v, carry byte) {
+	sum := uint16(c.ACC) + uint16(v) + uint16(carry)
+	signedSum := int16(int8(c.ACC)) + int16(int8(v)) + int16(carry)
+	c.setCY(sum > 0xFF)
+	c.setOV(signedSum > 127 || signedSum < -128)
+	c.ACC = byte(sum)
+}
+
+func (c *Core) subb(v byte) {
+	borrow := c.cy()
+	diff := int16(c.ACC) - int16(v) - int16(borrow)
+	signed := int16(int8(c.ACC)) - int16(int8(v)) - int16(borrow)
+	c.setCY(diff < 0)
+	c.setOV(signed > 127 || signed < -128)
+	c.ACC = byte(diff)
+}
+
+// Run executes until the core halts or maxCycles elapse. It reports the
+// machine cycles consumed by this call.
+func (c *Core) Run(maxCycles uint64) (uint64, error) {
+	start := c.Cycles
+	for !c.Halted && c.Cycles-start < maxCycles {
+		if err := c.Step(); err != nil {
+			return c.Cycles - start, err
+		}
+	}
+	return c.Cycles - start, nil
+}

@@ -1,0 +1,63 @@
+package isa
+
+// Snapshot is a complete nonvolatile checkpoint of the core: what the
+// NV flip-flop fabric of an NVP captures at power failure (§2.2). XRAM is
+// not copied — it stands for the node's nonvolatile buffer, which persists
+// in place.
+type Snapshot struct {
+	ACC, B, PSW, SP byte
+	DPTR, PC        uint16
+	IRAM            [IRAMSize]byte
+	Cycles, Insts   uint64
+	Halted          bool
+}
+
+// Checkpoint captures the architectural state.
+func (c *Core) Checkpoint() Snapshot {
+	return Snapshot{
+		ACC: c.ACC, B: c.B, PSW: c.PSW, SP: c.SP,
+		DPTR: c.DPTR, PC: c.PC, IRAM: c.IRAM,
+		Cycles: c.Cycles, Insts: c.Insts, Halted: c.Halted,
+	}
+}
+
+// Restore reinstates a checkpoint (the XRAM and code are left untouched —
+// both are nonvolatile).
+func (c *Core) Restore(s Snapshot) {
+	c.ACC, c.B, c.PSW, c.SP = s.ACC, s.B, s.PSW, s.SP
+	c.DPTR, c.PC, c.IRAM = s.DPTR, s.PC, s.IRAM
+	c.Cycles, c.Insts, c.Halted = s.Cycles, s.Insts, s.Halted
+}
+
+// PowerCycle models a volatile processor's power failure: every volatile
+// bit is lost and execution restarts from reset. XRAM (nonvolatile
+// storage) survives; anything the program kept in registers or IRAM is
+// gone — which is why a VP cannot make forward progress through outages.
+func (c *Core) PowerCycle() {
+	c.ACC, c.B, c.PSW, c.SP = 0, 0, 0, 0x07
+	c.DPTR, c.PC = 0, 0
+	c.IRAM = [IRAMSize]byte{}
+	c.Halted = false
+}
+
+// RunIntermittent executes the program under a schedule of power-on
+// bursts, checkpointing at each failure and restoring at each recovery —
+// the NVP execution discipline. It stops when the program halts or the
+// bursts are exhausted, reporting whether the program completed and how
+// many power failures it actually endured.
+func (c *Core) RunIntermittent(bursts []uint64) (done bool, failures int, err error) {
+	for _, burst := range bursts {
+		if _, err := c.Run(burst); err != nil {
+			return false, failures, err
+		}
+		if c.Halted {
+			return true, failures, nil
+		}
+		// Power failure: backup, die, restore on recovery.
+		snap := c.Checkpoint()
+		c.PowerCycle()
+		c.Restore(snap)
+		failures++
+	}
+	return c.Halted, failures, nil
+}

@@ -1,0 +1,257 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSSIMonotone(t *testing.T) {
+	if RSSI(1) <= RSSI(10) || RSSI(10) <= RSSI(100) {
+		t.Fatal("RSSI must decrease with distance")
+	}
+	// Clamp below 0.1 m.
+	if RSSI(0.01) != RSSI(0.1) {
+		t.Fatal("RSSI should clamp tiny distances")
+	}
+	if math.Abs(RSSI(1)-(-40)) > 1e-9 {
+		t.Fatalf("RSSI(1m) = %v, want -40", RSSI(1))
+	}
+}
+
+func TestClosestNode(t *testing.T) {
+	nodes := []Position{{0, 0}, {5, 0}, {1, 1}}
+	got := ClosestNode(Position{0.9, 0.9}, nodes, nil)
+	if got != 2 {
+		t.Fatalf("ClosestNode = %d, want 2", got)
+	}
+	got = ClosestNode(Position{0.9, 0.9}, nodes, func(i int) bool { return i == 2 })
+	if got != 0 {
+		t.Fatalf("ClosestNode with skip = %d, want 0", got)
+	}
+	if ClosestNode(Position{}, nodes, func(int) bool { return true }) != -1 {
+		t.Fatal("all skipped should yield -1")
+	}
+}
+
+// Figure 7: a sparse 10-node chain routes end-to-end in 9 hops; 4×
+// densification with scattered placement inflates the hop count to ~25
+// because the locality-preferring protocol hops to the nearest forward
+// node.
+func TestFigure7Hops(t *testing.T) {
+	const length, radioRange = 90, 25
+	sparse := LineDeployment(10, length)
+	path, err := GreedyPath(sparse, 0, 9, radioRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 9 {
+		t.Fatalf("sparse chain hops = %d, want 9", len(path))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	dense := DensifiedDeployment(10, length, 4, 4, rng)
+	if len(dense) != 40 {
+		t.Fatalf("densified count = %d, want 40", len(dense))
+	}
+	densePath, err := GreedyPath(dense, 0, 9, radioRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(densePath)) / float64(len(path))
+	if ratio < 2 || ratio > 3.9 {
+		t.Fatalf("densified hops = %d (ratio %.2f), want ~2.8× of 9 (paper: 25)",
+			len(densePath), ratio)
+	}
+	t.Logf("Fig. 7: sparse 9 hops, dense %d hops (paper: 25)", len(densePath))
+}
+
+func TestGreedyPathErrors(t *testing.T) {
+	nodes := []Position{{0, 0}, {100, 0}}
+	if _, err := GreedyPath(nodes, 0, 1, 10); err == nil {
+		t.Fatal("out-of-range hop should stall")
+	}
+	if _, err := GreedyPath(nodes, -1, 1, 10); err == nil {
+		t.Fatal("bad endpoint should error")
+	}
+}
+
+func TestLineDeployment(t *testing.T) {
+	nodes := LineDeployment(5, 100)
+	if nodes[0].X != 0 || nodes[4].X != 100 || nodes[2].X != 50 {
+		t.Fatalf("LineDeployment = %+v", nodes)
+	}
+}
+
+func TestLinkModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	link := DefaultLink()
+	n, ok := 100000, 0
+	for i := 0; i < n; i++ {
+		if link.Deliver(rng) {
+			ok++
+		}
+	}
+	rate := float64(ok) / float64(n)
+	if math.Abs(rate-0.9925) > 0.002 {
+		t.Fatalf("delivery rate = %v, want ≈0.9925", rate)
+	}
+}
+
+func TestChainRouting(t *testing.T) {
+	c := NewChain(5)
+	route := c.RouteToSink(4)
+	want := []int{3, 2, 1, 0, -1}
+	if len(route) != len(want) {
+		t.Fatalf("route = %v", route)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route = %v, want %v", route, want)
+		}
+	}
+}
+
+func TestChainOrphanScan(t *testing.T) {
+	c := NewChain(4) // 3 → 2 → 1 → 0 → sink
+	perfect := LinkModel{SuccessRate: 1}
+	rng := rand.New(rand.NewSource(2))
+
+	// Kill node 1: node 2's pointer is stale; first delivery from 3 fails
+	// at the discovery, repairing 2 → 0.
+	c.SetAlive(1, false)
+	if c.NextHop(2) != 1 {
+		t.Fatal("death must leave the pointer stale until discovered")
+	}
+	_, ok := c.Deliver(3, perfect, rng)
+	if ok {
+		t.Fatal("first delivery through a dead relay must fail")
+	}
+	if c.NextHop(2) != 0 {
+		t.Fatalf("orphan scan should re-route 2 → 0, got %d", c.NextHop(2))
+	}
+	if c.Rejoins == 0 {
+		t.Fatal("rejoin not counted")
+	}
+	// Second delivery now skips node 1: A→C.
+	hops, ok := c.Deliver(3, perfect, rng)
+	if !ok || hops != 3 {
+		t.Fatalf("post-repair delivery hops=%d ok=%v, want 3 hops", hops, ok)
+	}
+
+	// Recovery: B broadcasts, node 2 re-adds it: A→B→C again.
+	c.SetAlive(1, true)
+	if c.NextHop(2) != 1 || c.NextHop(1) != 0 {
+		t.Fatalf("recovery should restore routing: next(2)=%d next(1)=%d",
+			c.NextHop(2), c.NextHop(1))
+	}
+	hops, ok = c.Deliver(3, perfect, rng)
+	if !ok || hops != 4 {
+		t.Fatalf("restored delivery hops=%d ok=%v, want 4", hops, ok)
+	}
+}
+
+func TestChainDeadSourceCannotSend(t *testing.T) {
+	c := NewChain(3)
+	c.SetAlive(2, false)
+	if _, ok := c.Deliver(2, LinkModel{SuccessRate: 1}, rand.New(rand.NewSource(3))); ok {
+		t.Fatal("dead node must not transmit")
+	}
+}
+
+func TestChainLossyLink(t *testing.T) {
+	c := NewChain(10)
+	rng := rand.New(rand.NewSource(4))
+	lossy := LinkModel{SuccessRate: 0.5}
+	delivered := 0
+	const tries = 2000
+	for i := 0; i < tries; i++ {
+		if _, ok := c.Deliver(9, lossy, rng); ok {
+			delivered++
+		}
+	}
+	// 10 hops at 50% each ≈ 0.098% end-to-end.
+	rate := float64(delivered) / tries
+	if rate > 0.01 {
+		t.Fatalf("end-to-end rate %v too high for 0.5^10", rate)
+	}
+}
+
+func TestAliveNeighbors(t *testing.T) {
+	c := NewChain(5)
+	c.SetAlive(1, false)
+	c.SetAlive(3, false)
+	l, r := c.AliveNeighbors(2)
+	if l != 0 || r != 4 {
+		t.Fatalf("neighbors of 2 = (%d,%d), want (0,4)", l, r)
+	}
+	l, r = c.AliveNeighbors(0)
+	if l != -1 || r != 2 {
+		t.Fatalf("neighbors of 0 = (%d,%d), want (-1,2)", l, r)
+	}
+	l, r = c.AliveNeighbors(4)
+	if l != 2 || r != -1 {
+		t.Fatalf("neighbors of 4 = (%d,%d), want (2,-1)", l, r)
+	}
+}
+
+// Property: after any liveness churn, every alive node's eventual route
+// reaches the sink in at most n transmissions once repairs settle.
+func TestChainRoutingConverges(t *testing.T) {
+	f := func(ops []uint8) bool {
+		c := NewChain(8)
+		rng := rand.New(rand.NewSource(99))
+		perfect := LinkModel{SuccessRate: 1}
+		for _, op := range ops {
+			i := int(op % 8)
+			c.SetAlive(i, op%2 == 0)
+		}
+		for i := 0; i < 8; i++ {
+			if !c.Alive(i) {
+				continue
+			}
+			// At most n repair-failures before a clean route emerges.
+			ok := false
+			for try := 0; try < 9 && !ok; try++ {
+				_, ok = c.Deliver(i, perfect, rng)
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDensifiedKeepsAnchors(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := DensifiedDeployment(10, 90, 4, 4, rng)
+	base := LineDeployment(10, 90)
+	for i := range base {
+		if d[i] != base[i] {
+			t.Fatalf("anchor %d moved", i)
+		}
+	}
+	// factor < 2 returns the plain line.
+	if got := DensifiedDeployment(10, 90, 1, 4, rng); len(got) != 10 {
+		t.Fatal("factor 1 should return the base deployment")
+	}
+}
+
+func TestWeatherLink(t *testing.T) {
+	w := WeatherLink{
+		Clear:     LinkModel{SuccessRate: 0.9925},
+		Rain:      LinkModel{SuccessRate: 0.90},
+		RainStart: 100, RainEnd: 200,
+	}
+	if w.At(99) != w.Clear || w.At(200) != w.Clear {
+		t.Fatal("outside the window should be clear")
+	}
+	if w.At(100) != w.Rain || w.At(199) != w.Rain {
+		t.Fatal("inside the window should be rain")
+	}
+}

@@ -1,0 +1,117 @@
+// Package metrics provides the small reporting toolkit the experiment
+// harnesses share: aligned text tables (the paper-style rows every
+// experiment prints) and CSV export for figure series.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable builds an empty table.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; it panics if the arity does not match the header,
+// because a misaligned experiment table is a bug, not data.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("metrics: row has %d cells, table %q has %d columns",
+			len(cells), t.Title, len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Itoa formats an int cell.
+func Itoa(v int) string { return strconv.Itoa(v) }
+
+// Ftoa formats a float cell with the given precision.
+func Ftoa(v float64, prec int) string { return strconv.FormatFloat(v, 'f', prec, 64) }
+
+// Percent formats a ratio as a percentage cell.
+func Percent(v float64) string { return Ftoa(v*100, 1) + "%" }
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (header included).
+func (t *Table) WriteCSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	rows := append([][]string{t.Columns}, t.Rows...)
+	for _, row := range rows {
+		out := make([]string, len(row))
+		for i, c := range row {
+			out[i] = esc(c)
+		}
+		if _, err := io.WriteString(w, strings.Join(out, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Cell fetches a cell by row/column name for tests.
+func (t *Table) Cell(row int, column string) (string, error) {
+	if row < 0 || row >= len(t.Rows) {
+		return "", fmt.Errorf("metrics: row %d out of range", row)
+	}
+	for i, c := range t.Columns {
+		if c == column {
+			return t.Rows[row][i], nil
+		}
+	}
+	return "", fmt.Errorf("metrics: no column %q", column)
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", Itoa(1))
+	tb.AddRow("b", Ftoa(2.5, 2))
+	out := tb.Format()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("Format = %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: both data rows start the value column at the same
+	// offset.
+	if strings.Index(lines[3], "1") != strings.Index(lines[4], "2.50") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("x", "a", "b").AddRow("only-one")
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(`has,comma`, `has"quote`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"has,comma\",\"has\"\"quote\"\n"
+	if buf.String() != want {
+		t.Fatalf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestCell(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "2")
+	if v, err := tb.Cell(0, "b"); err != nil || v != "2" {
+		t.Fatalf("Cell = %q, %v", v, err)
+	}
+	if _, err := tb.Cell(1, "b"); err == nil {
+		t.Fatal("row out of range should error")
+	}
+	if _, err := tb.Cell(0, "zzz"); err == nil {
+		t.Fatal("unknown column should error")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if Percent(0.375) != "37.5%" {
+		t.Fatalf("Percent = %q", Percent(0.375))
+	}
+	if Itoa(-3) != "-3" || Ftoa(1.0/3, 3) != "0.333" {
+		t.Fatal("format helpers wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package node
+
+import "neofog/internal/units"
+
+// This file models the real-time-clock synchronisation lifecycle of §2.1
+// and §2.3. The RTC supercap is charged with priority because losing it
+// desynchronises the node from the network's logical time slots, and
+// "resynchronizing with the logical time slots in the network imposes
+// large overheads compared to normal state restoration". A desynchronised
+// node cannot use its RTC-slotted wake times: it must listen for a
+// network beacon across a whole slot boundary to rejoin.
+//
+// The paper notes an alternative it did not implement: an RF wake-up
+// sensor (nano-watt receivers such as [25, 35]) that lets a dead node be
+// summoned by the network instead of blind-listening. Config.WakeupRadio
+// enables that extension here.
+
+// ResyncListenWindow is the beacon-listen time a desynchronised node needs
+// to rejoin the slotted MAC without a wake-up radio: it must keep the
+// receiver open until a neighbour's periodic transmission passes by.
+const ResyncListenWindow = 250 * units.Millisecond
+
+// WakeupRadioListen is the rejoin cost with the RF wake-up sensor
+// extension: the always-on nano-watt receiver detects the wake pattern and
+// only then powers the main radio for a brief handshake.
+const WakeupRadioListen = 2 * units.Millisecond
+
+// RTCSynced reports whether the node still holds the network's notion of
+// time.
+func (n *Node) RTCSynced() bool { return !n.desynced }
+
+// CheckRTC is called at each slot boundary: an empty RTC cap means the
+// clock died since the last slot and the node is now desynchronised.
+func (n *Node) CheckRTC() {
+	if !n.Bank.RTCAlive() {
+		n.desynced = true
+	}
+}
+
+// ResyncCost is the energy to rejoin the slotted network: a receiver
+// listen window (plus reassociation control traffic), or the nearly free
+// wake-up-radio handshake when that extension is fitted.
+func (n *Node) ResyncCost() units.Energy {
+	window := ResyncListenWindow
+	if n.Cfg.WakeupRadio {
+		window = WakeupRadioListen
+	}
+	rx := n.Cfg.Radio.RXPower.Over(window)
+	_, ctrl := n.Cfg.Core.Exec(2000) // rejoin/association control code
+	return rx + ctrl
+}
+
+// TryResync attempts to rejoin: the RTC cap must have recovered (the bank
+// charges it with priority) and the node must afford the listen window.
+// It reports whether the node is synchronised afterwards.
+func (n *Node) TryResync() bool {
+	if !n.desynced {
+		return true
+	}
+	if !n.Bank.RTCAlive() {
+		return false // nothing to synchronise the clock against yet
+	}
+	if !n.spendFromCap(n.ResyncCost()) {
+		return false
+	}
+	n.desynced = false
+	n.Stats.Resyncs++
+	return true
+}

@@ -1,0 +1,81 @@
+package node
+
+import (
+	"testing"
+
+	"neofog/internal/apps"
+	"neofog/internal/units"
+)
+
+func TestRTCDesyncLifecycle(t *testing.T) {
+	cfg := DefaultConfig(NOSNVP, apps.BridgeHealth())
+	cfg.RTCCapCapacity = 100 * units.Microjoule // tiny clock reserve
+	cfg.RTCDraw = 0.001
+	n := New(cfg)
+	if !n.RTCSynced() {
+		t.Fatal("fresh node is synchronised")
+	}
+
+	// A long outage drains the RTC cap (1 µW over 100 µJ = 100 s).
+	for i := 0; i < 20; i++ {
+		n.Harvest(0, 10*units.Second)
+	}
+	n.CheckRTC()
+	if n.RTCSynced() {
+		t.Fatalf("RTC should have died; rtc cap = %v", n.Bank.RTC.Stored())
+	}
+
+	// Income returns: the bank recharges the RTC cap with priority, and
+	// the node pays the listen window to rejoin.
+	n.Harvest(2, 30*units.Second)
+	if !n.TryResync() {
+		t.Fatalf("resync should succeed with %v stored", n.Stored())
+	}
+	if !n.RTCSynced() || n.Stats.Resyncs != 1 {
+		t.Fatalf("stats = %+v", n.Stats)
+	}
+}
+
+func TestResyncNeedsRTCAndEnergy(t *testing.T) {
+	cfg := DefaultConfig(NOSNVP, apps.BridgeHealth())
+	cfg.RTCCapCapacity = 100 * units.Microjoule
+	n := New(cfg)
+	n.Bank.RTC.Drain(n.Bank.RTC.Stored())
+	n.CheckRTC()
+	// RTC cap empty: no time source to sync against.
+	if n.TryResync() {
+		t.Fatal("resync without a live RTC must fail")
+	}
+	// RTC back but main cap empty: cannot afford the listen window.
+	n.Bank.RTC.Deposit(50 * units.Microjoule)
+	n.Bank.Main.Drain(n.Bank.Main.Stored())
+	if n.TryResync() {
+		t.Fatal("resync without energy must fail")
+	}
+}
+
+func TestWakeupRadioCutsResyncCost(t *testing.T) {
+	plain := New(DefaultConfig(NOSNVP, apps.BridgeHealth()))
+	radio := DefaultConfig(NOSNVP, apps.BridgeHealth())
+	radio.WakeupRadio = true
+	fitted := New(radio)
+	if fitted.ResyncCost()*20 > plain.ResyncCost() {
+		t.Fatalf("wake-up radio resync %v should be ≪ blind listen %v",
+			fitted.ResyncCost(), plain.ResyncCost())
+	}
+	// The blind listen is genuinely expensive — tens of mJ class.
+	if plain.ResyncCost() < 10*units.Millijoule {
+		t.Fatalf("blind listen %v implausibly cheap", plain.ResyncCost())
+	}
+}
+
+func TestTryResyncNoopWhenSynced(t *testing.T) {
+	n := newNode(NOSNVP)
+	before := n.Stored()
+	if !n.TryResync() {
+		t.Fatal("synced node resync is a no-op success")
+	}
+	if n.Stored() != before || n.Stats.Resyncs != 0 {
+		t.Fatal("no-op resync must not spend")
+	}
+}

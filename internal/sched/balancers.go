@@ -1,0 +1,402 @@
+package sched
+
+import (
+	"math/rand"
+)
+
+// NodeLoad is the per-node state a balancing round works over. The fields
+// mirror what a node shares with its neighbours in the proposed scheme
+// (§3.2): whether it woke this period, how many tasks it holds, how many it
+// can execute (its available energy and Spendthrift operating point folded
+// into a task capacity), and its per-task execution time.
+type NodeLoad struct {
+	// Alive reports whether the node woke with enough energy to
+	// participate this period.
+	Alive bool
+	// Tasks is the number of fog tasks the node holds (its own sample plus
+	// anything already delegated to it).
+	Tasks int
+	// Capacity is how many tasks the node can execute this period.
+	Capacity int
+	// TicksPerTask is the node's execution time per task in scheduler
+	// ticks, reflecting its Spendthrift frequency level: energy-rich nodes
+	// run faster.
+	TicksPerTask int
+}
+
+// Move records a task delegation for transmission-cost accounting.
+type Move struct {
+	From, To int
+	Count    int
+}
+
+// Plan is the outcome of one balancing round.
+type Plan struct {
+	// Exec[i] is how many tasks node i executes locally this period.
+	Exec []int
+	// Leftover[i] is how many tasks node i still holds but cannot execute
+	// (they are either transmitted raw to the cloud or dropped by the
+	// caller's policy).
+	Leftover []int
+	// Moves lists the delegations performed, nearest-neighbour hops.
+	Moves []Move
+	// BalanceRuns counts how many local balancing invocations ran.
+	BalanceRuns int
+}
+
+// Balancer plans one period of task placement over a chain.
+type Balancer interface {
+	Name() string
+	// Plan must not mutate nodes. interruption is the probability that any
+	// given local balancing invocation is cut short by a power failure
+	// ("if load balance algorithm is interrupted, no load balance will
+	// take place at that region", §3.2).
+	Plan(nodes []NodeLoad, maxTime int, interruption float64, rng *rand.Rand) Plan
+}
+
+func basePlan(nodes []NodeLoad) Plan {
+	p := Plan{Exec: make([]int, len(nodes)), Leftover: make([]int, len(nodes))}
+	for i, n := range nodes {
+		if !n.Alive {
+			p.Leftover[i] = n.Tasks
+			continue
+		}
+		ex := n.Tasks
+		if ex > n.Capacity {
+			ex = n.Capacity
+		}
+		p.Exec[i] = ex
+		p.Leftover[i] = n.Tasks - ex
+	}
+	return p
+}
+
+// NoBalance executes whatever fits locally and strands the rest.
+type NoBalance struct{}
+
+// Name implements Balancer.
+func (NoBalance) Name() string { return "none" }
+
+// Plan implements Balancer.
+func (NoBalance) Plan(nodes []NodeLoad, _ int, _ float64, _ *rand.Rand) Plan {
+	return basePlan(nodes)
+}
+
+// Distributed is the paper's proposed bottom-up balancer: each overloaded
+// node inspects its nearest alive neighbours' shared state and calls
+// Algorithm 1 to split its surplus between the best left and right
+// candidates; over-assigned neighbours trigger a second round that pushes
+// tasks further outward (the node-8-to-node-10 case of Fig. 6d).
+type Distributed struct {
+	// MaxRounds bounds the outward push; the paper notes several rounds
+	// may be needed and optimality is not guaranteed. Default 3.
+	MaxRounds int
+}
+
+// Name implements Balancer.
+func (Distributed) Name() string { return "neofog-distributed" }
+
+// Plan implements Balancer.
+func (d Distributed) Plan(nodes []NodeLoad, maxTime int, interruption float64, rng *rand.Rand) Plan {
+	rounds := d.MaxRounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	p := basePlan(nodes)
+	n := len(nodes)
+
+	// Working copies of load state.
+	spare := make([]int, n)
+	speed := make([]int, n)
+	for i, nd := range nodes {
+		if nd.Alive {
+			spare[i] = nd.Capacity - nd.Tasks
+		}
+		speed[i] = nd.TicksPerTask
+		if speed[i] <= 0 {
+			speed[i] = 1
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		moved := false
+		for i := 0; i < n; i++ {
+			if !nodes[i].Alive || p.Leftover[i] == 0 {
+				continue
+			}
+			// The balancing program on node i can itself be interrupted by
+			// a power failure: no balancing happens in that region.
+			p.BalanceRuns++
+			if interruption > 0 && rng.Float64() < interruption {
+				continue
+			}
+			left := nearestWithSpare(nodes, spare, i, -1)
+			right := nearestWithSpare(nodes, spare, i, +1)
+			if left == -1 && right == -1 {
+				continue
+			}
+			m := p.Leftover[i]
+			a := make([]int, m)
+			b := make([]int, m)
+			for k := 0; k < m; k++ {
+				a[k] = sideTicks(speed, left)
+				b[k] = sideTicks(speed, right)
+			}
+			// Quantise so the DP table stays small: the assignment only
+			// depends on time ratios, and the interval budget needs no
+			// better than ~1/256 resolution.
+			quantA, quantB, quantMax := quantise(a, b, maxTime, 256)
+			sides, _, err := Assign(quantA, quantB, quantMax)
+			if err != nil {
+				continue
+			}
+			var wantLeft, wantRight int
+			for _, s := range sides {
+				if s == Left {
+					wantLeft++
+				} else {
+					wantRight++
+				}
+			}
+			// One side may be absent: everything fell to the other.
+			if left == -1 {
+				wantRight, wantLeft = wantLeft+wantRight, 0
+			}
+			if right == -1 {
+				wantLeft, wantRight = wantLeft+wantRight, 0
+			}
+			moved = d.give(&p, spare, i, left, wantLeft) || moved
+			moved = d.give(&p, spare, i, right, wantRight) || moved
+		}
+		if !moved {
+			break
+		}
+	}
+	return p
+}
+
+// give moves up to `count` of i's leftover tasks to neighbour j (bounded by
+// j's spare capacity).
+func (d Distributed) give(p *Plan, spare []int, i, j, count int) bool {
+	if j < 0 || count <= 0 {
+		return false
+	}
+	if count > p.Leftover[i] {
+		count = p.Leftover[i]
+	}
+	if count > spare[j] {
+		count = spare[j]
+	}
+	if count <= 0 {
+		return false
+	}
+	p.Leftover[i] -= count
+	p.Exec[j] += count
+	spare[j] -= count
+	p.Moves = append(p.Moves, Move{From: i, To: j, Count: count})
+	return true
+}
+
+// quantise rescales task times and the interval budget so that maxTime is
+// at most `limit` ticks, flooring each task at one tick.
+func quantise(a, b []int, maxTime, limit int) ([]int, []int, int) {
+	if maxTime <= limit {
+		return a, b, maxTime
+	}
+	scale := (maxTime + limit - 1) / limit
+	qa := make([]int, len(a))
+	qb := make([]int, len(b))
+	for k := range a {
+		qa[k] = maxInt(1, a[k]/scale)
+		qb[k] = maxInt(1, b[k]/scale)
+	}
+	return qa, qb, maxTime / scale
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// nearestWithSpare scans outward in direction dir for the first alive node
+// with spare capacity, since the paper's scheme shares state with nearby
+// nodes first ("node 4 can know states of its left node 3 before touching
+// another energy hungry node 2").
+func nearestWithSpare(nodes []NodeLoad, spare []int, i, dir int) int {
+	for j := i + dir; j >= 0 && j < len(nodes); j += dir {
+		if nodes[j].Alive && spare[j] > 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// sideTicks is the per-task time on a side's candidate node; an absent side
+// is made maximally unattractive rather than illegal so that Assign still
+// produces a total assignment (the caller then redirects).
+func sideTicks(speed []int, idx int) int {
+	if idx < 0 {
+		return 1 << 20
+	}
+	return speed[idx]
+}
+
+// BaselineTree is the traditional up-down multi-level (binary tree)
+// balancer of Fig. 6(c): a coordinator node aggregates its segment's load
+// and pushes tasks down proportionally to capacity. When a coordinator
+// lacks energy, its whole segment goes unbalanced — the failure mode the
+// proposed scheme avoids.
+type BaselineTree struct{}
+
+// Name implements Balancer.
+func (BaselineTree) Name() string { return "baseline-tree" }
+
+// Plan implements Balancer.
+func (BaselineTree) Plan(nodes []NodeLoad, _ int, interruption float64, rng *rand.Rand) Plan {
+	p := basePlan(nodes)
+	tasks := make([]int, len(nodes))
+	up := make([]bool, len(nodes)) // coordinator is alive and uninterrupted
+	for i, nd := range nodes {
+		tasks[i] = nd.Tasks
+		up[i] = nd.Alive
+	}
+
+	// visible lists the nodes of [lo,hi) whose aggregation path of
+	// coordinators is intact: a dead mid-level coordinator cuts its whole
+	// subtree out of the up-phase, so upper levels cannot see (or balance)
+	// that region — the Fig. 6(c) failure.
+	var visible func(lo, hi int) []int
+	visible = func(lo, hi int) []int {
+		if hi-lo <= 0 {
+			return nil
+		}
+		if hi-lo == 1 {
+			if up[lo] {
+				return []int{lo}
+			}
+			return nil
+		}
+		mid := (lo + hi) / 2
+		if !up[mid] {
+			return nil
+		}
+		return append(visible(lo, mid), visible(mid, hi)...)
+	}
+
+	var balance func(lo, hi int)
+	balance = func(lo, hi int) {
+		if hi-lo <= 1 {
+			return
+		}
+		mid := (lo + hi) / 2
+		p.BalanceRuns++
+		coordinatorUp := up[mid] && !(interruption > 0 && rng.Float64() < interruption)
+		if !coordinatorUp {
+			up[mid] = false
+			// The halves can still balance internally, but nothing
+			// crosses the dead coordinator.
+			balance(lo, mid)
+			balance(mid, hi)
+			return
+		}
+		// Move only the visible surplus (tasks beyond local capacity)
+		// into the visible spare capacity; work that fits where it was
+		// sampled stays put, and cut-off subtrees are untouched.
+		vis := visible(lo, hi)
+		shares := map[int]int{}
+		surplus := 0
+		for _, i := range vis {
+			keep := tasks[i]
+			if keep > nodes[i].Capacity {
+				keep = nodes[i].Capacity
+			}
+			shares[i] = keep
+			surplus += tasks[i] - keep
+		}
+		for _, i := range vis {
+			if surplus == 0 {
+				break
+			}
+			room := nodes[i].Capacity - shares[i]
+			if room <= 0 {
+				continue
+			}
+			take := room
+			if take > surplus {
+				take = surplus
+			}
+			shares[i] += take
+			surplus -= take
+		}
+		// Unplaceable surplus stays with its holders.
+		for _, i := range vis {
+			if surplus == 0 {
+				break
+			}
+			if extra := tasks[i] - shares[i]; extra > 0 {
+				take := extra
+				if take > surplus {
+					take = surplus
+				}
+				shares[i] += take
+				surplus -= take
+			}
+		}
+		pairMoves(&p, tasks, shares, lo, hi)
+	}
+	balance(0, len(nodes))
+
+	// Re-derive exec/leftover from the levelled task placement.
+	for i, nd := range nodes {
+		if !nd.Alive {
+			p.Exec[i], p.Leftover[i] = 0, tasks[i]
+			continue
+		}
+		ex := tasks[i]
+		if ex > nd.Capacity {
+			ex = nd.Capacity
+		}
+		p.Exec[i] = ex
+		p.Leftover[i] = tasks[i] - ex
+	}
+	return p
+}
+
+// pairMoves turns the tree's levelling decision into concrete pairwise
+// transfers (donor → receiver) so the caller can charge the radio costs,
+// then applies the new task placement.
+func pairMoves(p *Plan, tasks []int, shares map[int]int, lo, hi int) {
+	type flow struct{ idx, amt int }
+	var donors, receivers []flow
+	for i := lo; i < hi; i++ {
+		share, ok := shares[i]
+		if !ok {
+			continue
+		}
+		switch d := tasks[i] - share; {
+		case d > 0:
+			donors = append(donors, flow{i, d})
+		case d < 0:
+			receivers = append(receivers, flow{i, -d})
+		}
+		tasks[i] = share
+	}
+	di, ri := 0, 0
+	for di < len(donors) && ri < len(receivers) {
+		n := donors[di].amt
+		if receivers[ri].amt < n {
+			n = receivers[ri].amt
+		}
+		p.Moves = append(p.Moves, Move{From: donors[di].idx, To: receivers[ri].idx, Count: n})
+		donors[di].amt -= n
+		receivers[ri].amt -= n
+		if donors[di].amt == 0 {
+			di++
+		}
+		if receivers[ri].amt == 0 {
+			ri++
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkAssignSmall(b *testing.B)  { benchAssign(b, 8, 200) }
+func BenchmarkAssignMedium(b *testing.B) { benchAssign(b, 32, 256) }
+func BenchmarkAssignLarge(b *testing.B)  { benchAssign(b, 64, 256) }
+
+// Ablation: the unquantised DP the balancer would otherwise run per
+// invocation (12000-tick budget, the raw slot resolution).
+func BenchmarkAssignUnquantised(b *testing.B) { benchAssign(b, 64, 12000) }
+
+func benchAssign(b *testing.B, n, maxTime int) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]int, n)
+	bb := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(9) + 1
+		bb[i] = rng.Intn(9) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Assign(a, bb, maxTime); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPlan(b *testing.B, bal Balancer) {
+	rng := rand.New(rand.NewSource(1))
+	nodes := make([]NodeLoad, 100)
+	for i := range nodes {
+		nodes[i] = NodeLoad{
+			Alive:        rng.Float64() < 0.85,
+			Tasks:        rng.Intn(4),
+			Capacity:     rng.Intn(3),
+			TicksPerTask: rng.Intn(9000) + 1000,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bal.Plan(nodes, 12000, 0.02, rng)
+	}
+}
+
+func BenchmarkPlanNone(b *testing.B)        { benchPlan(b, NoBalance{}) }
+func BenchmarkPlanTree(b *testing.B)        { benchPlan(b, BaselineTree{}) }
+func BenchmarkPlanDistributed(b *testing.B) { benchPlan(b, Distributed{}) }

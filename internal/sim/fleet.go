@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The paper's system-level simulator "starts thousands of node simulators
+// at a time" (§4): 1000 nodes for intra-chain studies and 1000–5000 for
+// inter-chain ones. Chains are independent at the MAC layer (inter-chain
+// interaction happens through NVD4Q clone sets, which live inside one
+// logical chain), so a fleet is a set of chain simulations that can run
+// concurrently. RunFleet executes them across the available cores while
+// keeping results bit-for-bit deterministic: each chain's randomness comes
+// only from its own config's seed.
+
+// FleetResult aggregates a multi-chain run.
+type FleetResult struct {
+	// PerChain holds each chain's result, in input order.
+	PerChain []Result
+	// Aggregate sums the countable fields across chains.
+	Aggregate Result
+}
+
+// RunFleet runs every chain config concurrently and aggregates.
+func RunFleet(configs []Config) (FleetResult, error) {
+	if len(configs) == 0 {
+		return FleetResult{}, fmt.Errorf("sim: empty fleet")
+	}
+	for i := range configs {
+		if configs[i].Journal != nil {
+			return FleetResult{}, fmt.Errorf("sim: chain %d: journals are not supported in fleet runs (writers would interleave)", i)
+		}
+	}
+
+	results := make([]Result, len(configs))
+	errs := make([]error, len(configs))
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i := range configs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Run(configs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return FleetResult{}, fmt.Errorf("sim: chain %d: %w", i, err)
+		}
+	}
+
+	out := FleetResult{PerChain: results}
+	for _, r := range results {
+		a := &out.Aggregate
+		a.Nodes += r.Nodes
+		a.IdealPackets += r.IdealPackets
+		a.Wakeups += r.Wakeups
+		a.WakeFailures += r.WakeFailures
+		a.FogProcessed += r.FogProcessed
+		a.CloudProcessed += r.CloudProcessed
+		a.Dropped += r.Dropped
+		a.LostInFlight += r.LostInFlight
+		a.Rejoins += r.Rejoins
+		a.Moves += r.Moves
+		if r.Rounds > a.Rounds {
+			a.Rounds = r.Rounds
+		}
+	}
+	return out, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"neofog/internal/apps"
+	"neofog/internal/mesh"
+	"neofog/internal/node"
+	"neofog/internal/sched"
+	"neofog/internal/units"
+)
+
+func fleetConfigs(t *testing.T, chains int) []Config {
+	t.Helper()
+	cfgs := make([]Config, chains)
+	for i := range cfgs {
+		traces := forestTraces(t, 10, 0.7, int64(100+i))
+		cfgs[i] = Config{
+			Node:     node.DefaultConfig(node.FIOSNVMote, apps.BridgeHealth()),
+			Traces:   traces,
+			Slot:     12 * units.Second,
+			Rounds:   120,
+			Balancer: sched.Distributed{},
+			Link:     mesh.DefaultLink(),
+			Seed:     int64(i + 1),
+		}
+	}
+	return cfgs
+}
+
+func TestRunFleetMatchesSerial(t *testing.T) {
+	cfgs := fleetConfigs(t, 6)
+	fleet, err := RunFleet(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantFog, wantNodes, wantIdeal int
+	for i := range cfgs {
+		r, err := Run(cfgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFog += r.FogProcessed
+		wantNodes += r.Nodes
+		wantIdeal += r.IdealPackets
+		if fleet.PerChain[i].FogProcessed != r.FogProcessed {
+			t.Fatalf("chain %d diverged from serial run: %d vs %d",
+				i, fleet.PerChain[i].FogProcessed, r.FogProcessed)
+		}
+	}
+	a := fleet.Aggregate
+	if a.FogProcessed != wantFog || a.Nodes != wantNodes || a.IdealPackets != wantIdeal {
+		t.Fatalf("aggregate mismatch: %+v vs fog=%d nodes=%d ideal=%d", a, wantFog, wantNodes, wantIdeal)
+	}
+}
+
+func TestRunFleetDeterminism(t *testing.T) {
+	a, err := RunFleet(fleetConfigs(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleet(fleetConfigs(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerChain {
+		if a.PerChain[i].FogProcessed != b.PerChain[i].FogProcessed ||
+			a.PerChain[i].Moves != b.PerChain[i].Moves {
+			t.Fatalf("fleet nondeterministic at chain %d", i)
+		}
+	}
+}
+
+func TestRunFleetErrors(t *testing.T) {
+	if _, err := RunFleet(nil); err == nil {
+		t.Fatal("empty fleet should error")
+	}
+	bad := fleetConfigs(t, 2)
+	bad[1].Traces = nil
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("broken chain config should surface its error")
+	}
+	withJournal := fleetConfigs(t, 1)
+	withJournal[0].Journal = &bytes.Buffer{}
+	if _, err := RunFleet(withJournal); err == nil {
+		t.Fatal("journals must be rejected in fleet runs")
+	}
+}

@@ -1,0 +1,444 @@
+// Package sim is the WSN system-level simulator (§4): it steps thousands
+// of node models through RTC-slotted rounds under per-node power traces,
+// runs the configured load balancer each round, and mimics communication
+// the way the paper's framework does — direct data transmission between
+// virtual buffers under a per-packet success probability, with orphan-scan
+// re-association when relays die (§4: "the communication is mimicked by
+// direct data transmission under a certain successful transmission
+// possibility through virtual buffers among nodes").
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"neofog/internal/energytrace"
+	"neofog/internal/mesh"
+	"neofog/internal/node"
+	"neofog/internal/sched"
+	"neofog/internal/units"
+	"neofog/internal/virt"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	// Node is the per-node template (kind, application, cap sizing).
+	Node node.Config
+	// Traces supplies one income trace per physical node; its length also
+	// sets the node count.
+	Traces []*energytrace.Sampled
+	// Slot is the RTC wake interval.
+	Slot units.Duration
+	// Rounds is how many RTC slots to simulate (0 = as many as the traces
+	// cover).
+	Rounds int
+	// Balancer is the load-balancing policy (nil = no balancing).
+	Balancer sched.Balancer
+	// LBInterruption is the probability that one balancing invocation is
+	// cut short by a power failure.
+	LBInterruption float64
+	// Link is the per-packet delivery model.
+	Link mesh.LinkModel
+	// LinkAt, when non-nil, overrides Link with a per-round model (e.g. a
+	// mesh.WeatherLink's At method) — rain degrades the radio exactly when
+	// solar income collapses.
+	LinkAt func(round int) mesh.LinkModel
+	// CloneSets optionally groups physical nodes into NVD4Q logical nodes;
+	// nil means every physical node is its own logical node.
+	CloneSets []virt.LogicalNode
+	// MaxBacklog bounds how many packets an NV node may carry across
+	// rounds before the oldest data is discarded (§5.1). 0 means the full
+	// NVBuffer depth (64 kB = 64 packets at the default packet size): the
+	// buffered strategy explicitly accumulates work for the hours when
+	// harvest is plentiful.
+	MaxBacklog int
+	// RealTimeRequestRate is the per-node per-round probability of a
+	// control-node request that forces an immediate raw transmission for
+	// cloud processing, bypassing the buffered strategy (§5.1: "except
+	// when there is a real-time request from a control node"). Default
+	// 0.01; the tiny cloud-processed counts of the NVP systems in Fig. 10
+	// come from this path.
+	RealTimeRequestRate float64
+	// RecordEnergy lists physical node indices whose stored energy is
+	// sampled after every round (the Fig. 9 series).
+	RecordEnergy []int
+	// Journal, when non-nil, receives one JSON line per round with the
+	// round's aggregate activity — the observability hook for debugging
+	// and plotting deployments.
+	Journal io.Writer
+	// Seed drives all randomness in the run.
+	Seed int64
+}
+
+// journalEntry is one round's record in the JSONL journal.
+type journalEntry struct {
+	Round        int     `json:"round"`
+	Awake        int     `json:"awake"`
+	Fog          int     `json:"fog"`
+	Cloud        int     `json:"cloud"`
+	Dropped      int     `json:"dropped"`
+	Moves        int     `json:"moves"`
+	MeanStoredMJ float64 `json:"mean_stored_mj"`
+}
+
+// Result aggregates a run.
+type Result struct {
+	Nodes, Rounds int
+	// IdealPackets is logical nodes × rounds — the paper's "15000" bound.
+	IdealPackets int
+	// Wakeups counts node activations; WakeFailures the missed slots.
+	Wakeups, WakeFailures int
+	// FogProcessed are packets processed at the edge; CloudProcessed are
+	// raw packets delivered for cloud processing; together they are the
+	// "total data packages processed".
+	FogProcessed, CloudProcessed int
+	// Dropped counts packets lost to energy shortage or full buffers.
+	Dropped int
+	// LostInFlight counts packets lost to link errors or dead relays.
+	LostInFlight int
+	// Rejoins counts orphan-scan re-associations.
+	Rejoins int
+	// Moves counts load-balance task delegations.
+	Moves int
+	// PerNode carries each physical node's counters.
+	PerNode []node.Stats
+	// EnergySeries maps recorded node index → stored energy per round.
+	EnergySeries map[int][]units.Energy
+}
+
+// TotalProcessed is fog + cloud packets.
+func (r Result) TotalProcessed() int { return r.FogProcessed + r.CloudProcessed }
+
+// Run executes the simulation.
+func Run(cfg Config) (Result, error) {
+	n := len(cfg.Traces)
+	if n == 0 {
+		return Result{}, fmt.Errorf("sim: no traces")
+	}
+	if cfg.Slot <= 0 {
+		return Result{}, fmt.Errorf("sim: non-positive slot")
+	}
+	rounds := cfg.Rounds
+	if maxRounds := int(cfg.Traces[0].Duration() / cfg.Slot); rounds == 0 || rounds > maxRounds {
+		rounds = maxRounds
+	}
+	if rounds == 0 {
+		return Result{}, fmt.Errorf("sim: traces shorter than one slot")
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nodes := make([]*node.Node, n)
+	for i := range nodes {
+		nc := cfg.Node
+		if nc.FogDeadline <= 0 || nc.FogDeadline > cfg.Slot {
+			nc.FogDeadline = cfg.Slot * 5 / 6
+		}
+		nodes[i] = node.New(nc)
+		nodes[i].ConfigureNVRF([]byte{byte(i)})
+	}
+
+	logical := cfg.CloneSets
+	if logical == nil {
+		logical = make([]virt.LogicalNode, n)
+		for i := range logical {
+			logical[i] = virt.LogicalNode{ID: i, Clones: []int{i}}
+		}
+	}
+
+	chain := mesh.NewChain(len(logical))
+	balancer := cfg.Balancer
+	if balancer == nil {
+		balancer = sched.NoBalance{}
+	}
+
+	res := Result{
+		Nodes:        n,
+		Rounds:       rounds,
+		IdealPackets: len(logical) * rounds,
+		EnergySeries: map[int][]units.Energy{},
+	}
+	for _, i := range cfg.RecordEnergy {
+		res.EnergySeries[i] = make([]units.Energy, 0, rounds)
+	}
+
+	maxBacklog := cfg.MaxBacklog
+	if maxBacklog <= 0 {
+		maxBacklog = 65536 / cfg.Node.PacketBytes
+		if maxBacklog < 1 {
+			maxBacklog = 1
+		}
+	}
+	rtRate := cfg.RealTimeRequestRate
+	if rtRate == 0 {
+		rtRate = 0.01
+	}
+	queued := make([]int, len(logical)) // packets awaiting fog processing per logical slot owner
+	var prevFog, prevCloud, prevDropped, prevMoves int
+
+	for round := 0; round < rounds; round++ {
+		t0 := cfg.Slot * units.Duration(round)
+		link := cfg.Link
+		if cfg.LinkAt != nil {
+			link = cfg.LinkAt(round)
+		}
+
+		// Record each node's income for the slot; banking happens at slot
+		// end so the FIOS direct channel and the charge path share (rather
+		// than double-count) the same harvest.
+		for i, nd := range nodes {
+			nd.BeginSlot(meanPower(cfg.Traces[i], t0, cfg.Slot))
+		}
+
+		// Wake phase: the responsible clone of each logical node tries to
+		// come alive and sample.
+		awake := make([]*node.Node, len(logical)) // responsible node if awake
+		awakeIdx := make([]int, len(logical))     // physical index
+		for li, set := range logical {
+			phys := set.Responsible(round)
+			nd := nodes[phys]
+			awakeIdx[li] = phys
+			// A node whose RTC died no longer knows the slot schedule: it
+			// must first resynchronise (cheap with the wake-up-radio
+			// extension, a costly blind listen without).
+			nd.CheckRTC()
+			if !nd.RTCSynced() {
+				if !nd.TryResync() {
+					nd.Stats.DesyncedSlots++
+					nd.Stats.WakeFailures++
+					chain.SetAlive(li, false)
+					continue
+				}
+			}
+			if nd.Stored() < activationThreshold(nd) {
+				nd.Stats.WakeFailures++
+				chain.SetAlive(li, false)
+				continue
+			}
+			if nd.TryWake() {
+				awake[li] = nd
+				queued[li]++
+				chain.SetAlive(li, true)
+			} else {
+				chain.SetAlive(li, false)
+			}
+		}
+
+		// Control-node real-time requests bypass the buffered strategy:
+		// the addressed node ships its fresh sample raw, immediately
+		// (§5.1). This is the only cloud-path traffic an NV system
+		// produces in steady state.
+		for li, nd := range awake {
+			if nd == nil || !nd.FogFeasible() || queued[li] == 0 {
+				continue
+			}
+			if rng.Float64() >= rtRate {
+				continue
+			}
+			cost := nd.TxRawCost()
+			if nd.Stored() >= cost.Energy && nd.Transmit(cost) {
+				if deliver(chain, li, link, rng, &res) {
+					res.CloudProcessed++
+				}
+				queued[li]--
+			}
+		}
+
+		// Build the balancing view over logical slots. VP nodes do not
+		// share state or run the balancer (the caller passes NoBalance for
+		// VP systems); the unified flow still routes their packets.
+		loads := make([]sched.NodeLoad, len(logical))
+		for li, nd := range awake {
+			if nd == nil {
+				loads[li] = sched.NodeLoad{Alive: false, Tasks: queued[li]}
+				continue
+			}
+			reserve := nd.TxResultCost().Energy
+			_, fogT := nd.FogCost()
+			ticks := int(fogT / units.Millisecond)
+			if ticks <= 0 {
+				ticks = 1
+			}
+			loads[li] = sched.NodeLoad{
+				Alive:        true,
+				Tasks:        queued[li],
+				Capacity:     nd.FogCapacity(cfg.Slot, reserve),
+				TicksPerTask: ticks,
+			}
+		}
+		maxTicks := int(cfg.Slot / units.Millisecond)
+		plan := balancer.Plan(loads, maxTicks, cfg.LBInterruption, rng)
+
+		// Charge the task movements: the sender transmits a raw packet to
+		// the receiver, the receiver pays RX. A sender that cannot afford
+		// the transfer keeps the task; data lost in flight (or that the
+		// receiver cannot afford to receive) un-books the receiver's work.
+		for _, mv := range plan.Moves {
+			from, to := mv.From, mv.To
+			if from < 0 || to < 0 {
+				continue
+			}
+			src, dst := nodes[awakeIdx[from]], nodes[awakeIdx[to]]
+			unaffordable, lost := 0, 0
+			for c := 0; c < mv.Count; c++ {
+				cost := src.TxRawCost()
+				if src.Stored() < cost.Energy {
+					unaffordable++
+					continue
+				}
+				if !src.Transmit(cost) || !link.Deliver(rng) {
+					res.LostInFlight++
+					lost++
+					continue
+				}
+				if !dst.Receive(src.Cfg.PacketBytes) {
+					res.LostInFlight++
+					lost++
+					continue
+				}
+				res.Moves++
+			}
+			plan.Exec[to] -= unaffordable + lost
+			if plan.Exec[to] < 0 {
+				plan.Exec[to] = 0
+			}
+			plan.Leftover[from] += unaffordable
+		}
+
+		// Execute fog work and ship results.
+		for li, nd := range awake {
+			if nd == nil {
+				continue
+			}
+			if plan.Exec[li] == 0 && queued[li] > 0 {
+				// Incidental computing (if enabled): scraps of energy go
+				// into partial progress on one buffered packet instead of
+				// idling.
+				if nd.AdvanceFog(cfg.Slot) {
+					res.FogProcessed++
+					queued[li]--
+					if nd.Transmit(nd.TxResultCost()) {
+						deliver(chain, li, cfg.Link, rng, &res)
+					}
+				}
+			}
+			for k := 0; k < plan.Exec[li]; k++ {
+				if !nd.ProcessFog() {
+					break
+				}
+				// Processing happened in the fog regardless of whether the
+				// small result packet survives its radio trip.
+				res.FogProcessed++
+				if nd.Transmit(nd.TxResultCost()) {
+					deliver(chain, li, cfg.Link, rng, &res)
+				}
+			}
+			leftover := plan.Leftover[li]
+
+			if !nd.FogFeasible() {
+				// A node that can never fog-process (a VP facing a
+				// heavyweight kernel) ships raw data for cloud processing
+				// while energy lasts.
+				for leftover > 0 {
+					cost := nd.TxRawCost()
+					if nd.Stored() < cost.Energy || !nd.Transmit(cost) {
+						break
+					}
+					if deliver(chain, li, link, rng, &res) {
+						res.CloudProcessed++
+					}
+					leftover--
+				}
+			}
+
+			// NV nodes keep a short backlog; beyond it the sampled data
+			// are discarded (§5.1). A VP cannot hold any backlog across
+			// the power-down.
+			keep := 0
+			if !volatileNode(nd) {
+				keep = maxBacklog
+			}
+			if leftover > keep {
+				res.Dropped += leftover - keep
+				nd.Stats.Dropped += leftover - keep
+				leftover = keep
+			}
+			queued[li] = leftover
+		}
+
+		for _, nd := range nodes {
+			nd.EndSlot(cfg.Slot)
+		}
+		recordEnergy(&res, cfg.RecordEnergy, nodes)
+
+		if cfg.Journal != nil {
+			entry := journalEntry{
+				Round:   round,
+				Fog:     res.FogProcessed - prevFog,
+				Cloud:   res.CloudProcessed - prevCloud,
+				Dropped: res.Dropped - prevDropped,
+				Moves:   res.Moves - prevMoves,
+			}
+			for _, nd := range awake {
+				if nd != nil {
+					entry.Awake++
+				}
+			}
+			var stored float64
+			for _, nd := range nodes {
+				stored += nd.Stored().Millijoules()
+			}
+			entry.MeanStoredMJ = stored / float64(len(nodes))
+			if err := json.NewEncoder(cfg.Journal).Encode(entry); err != nil {
+				return res, fmt.Errorf("sim: writing journal: %w", err)
+			}
+			prevFog, prevCloud = res.FogProcessed, res.CloudProcessed
+			prevDropped, prevMoves = res.Dropped, res.Moves
+		}
+	}
+
+	for _, nd := range nodes {
+		nd.Stats.Overflow = nd.Bank.Main.Overflowed()
+		res.Wakeups += nd.Stats.Wakeups
+		res.WakeFailures += nd.Stats.WakeFailures
+		res.PerNode = append(res.PerNode, nd.Stats)
+	}
+	res.Rejoins = chain.Rejoins
+	return res, nil
+}
+
+// activationThreshold gates waking at an RTC slot: a node wakes whenever
+// it can afford to boot and sample. What it does with the sample —
+// process, delegate, or (eventually) discard — is decided by the balancer
+// and by per-action affordability checks.
+func activationThreshold(nd *node.Node) units.Energy {
+	return nd.WakeCost()
+}
+
+// volatileNode reports whether the node loses its backlog at power-down.
+func volatileNode(nd *node.Node) bool { return nd.Cfg.Kind == node.NOSVP }
+
+// deliver mimics the paper's virtual-buffer transmission: per-packet
+// delivery with the measured success rate, with dead relays triggering
+// orphan-scan rejoins through the chain model.
+func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result) bool {
+	_, ok := chain.Deliver(li, link, rng)
+	if !ok {
+		res.LostInFlight++
+	}
+	return ok
+}
+
+func recordEnergy(res *Result, record []int, nodes []*node.Node) {
+	for _, i := range record {
+		res.EnergySeries[i] = append(res.EnergySeries[i], nodes[i].Stored())
+	}
+}
+
+// meanPower integrates the trace over [t0, t0+slot) and converts to mean
+// power.
+func meanPower(tr *energytrace.Sampled, t0, slot units.Duration) units.Power {
+	e := energytrace.Integrate(tr, t0, t0+slot, tr.Step)
+	return units.Power(float64(e) / float64(slot))
+}

@@ -1,0 +1,483 @@
+// Package neofog is the public API of the NEOFog reproduction: a system
+// architecture and simulation library for nonvolatility-exploiting
+// energy-harvesting wireless sensor networks (Ma et al., ASPLOS 2018).
+//
+// The library models NV-motes — nodes built from a nonvolatile processor
+// (NVP), a nonvolatile RF controller (NVRF) and nonvolatile sample buffers
+// — and the three system-level optimizations the paper proposes:
+//
+//   - the frequently-intermittently-on (FIOS) operating discipline, which
+//     computes directly off the harvest channel instead of waiting for a
+//     capacitor to charge;
+//   - a distributed dynamic-programming load balancer that assigns surplus
+//     fog tasks to the most efficient chain neighbours (Algorithm 1); and
+//   - NVD4Q slotted node virtualization, which multiplexes physical clones
+//     behind one network identity to lift QoS under low income
+//     (Algorithm 2).
+//
+// Simulate runs a full WSN deployment; RunExperiment regenerates any of
+// the paper's tables and figures. The underlying component models
+// (internal/...) are calibrated against the measurements published in the
+// paper; see DESIGN.md and EXPERIMENTS.md.
+package neofog
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"neofog/internal/apps"
+	"neofog/internal/energytrace"
+	"neofog/internal/experiments"
+	"neofog/internal/mesh"
+	"neofog/internal/metrics"
+	"neofog/internal/node"
+	"neofog/internal/sched"
+	"neofog/internal/sim"
+	"neofog/internal/units"
+	"neofog/internal/virt"
+)
+
+// System selects the node architecture of a simulated deployment.
+type System string
+
+// The three system stacks the paper evaluates.
+const (
+	// SystemVP is the traditional normally-off volatile-processor node
+	// with software-controlled RF.
+	SystemVP System = "nos-vp"
+	// SystemNVP is a normally-off node with an NVP and NVRF.
+	SystemNVP System = "nos-nvp"
+	// SystemNEOFog is the full NV-mote: NVP + NVRF + dual-channel FIOS
+	// front end.
+	SystemNEOFog System = "neofog"
+)
+
+// Balancer selects the load-balancing policy.
+type Balancer string
+
+// The load-balancing policies of §3.2.
+const (
+	BalanceNone        Balancer = "none"
+	BalanceTree        Balancer = "tree"
+	BalanceDistributed Balancer = "distributed"
+)
+
+// Weather selects the income regime of the synthetic solar traces.
+type Weather string
+
+// Income regimes.
+const (
+	WeatherSunny    Weather = "sunny"
+	WeatherOvercast Weather = "overcast"
+	WeatherRainy    Weather = "rainy"
+)
+
+// Application selects the sensing workload.
+type Application string
+
+// The five measured applications of Tables 1–2.
+const (
+	AppBridgeHealth Application = "bridge"
+	AppUVMeter      Application = "uv"
+	AppTemperature  Application = "temp"
+	AppAcceleration Application = "accel"
+	AppHeartbeat    Application = "heartbeat"
+)
+
+// SimulationConfig describes one WSN deployment to simulate.
+type SimulationConfig struct {
+	// System is the node architecture (default SystemNEOFog).
+	System System
+	// Balancer is the load-balancing policy (default: distributed for
+	// SystemNEOFog, tree for SystemNVP, none for SystemVP).
+	Balancer Balancer
+	// Application is the workload (default AppBridgeHealth).
+	Application Application
+	// Nodes is the number of logical chain nodes (default 10).
+	Nodes int
+	// Rounds is the number of RTC slots to simulate (default: as many as
+	// the generated traces cover — 1500 slots = 5 h).
+	Rounds int
+	// SlotSeconds is the RTC wake interval (default 12 s).
+	SlotSeconds float64
+	// Weather picks the solar regime (default WeatherSunny).
+	Weather Weather
+	// SolarPeakMilliwatts overrides the regime's clear-sky panel peak
+	// (0 keeps the regime default).
+	SolarPeakMilliwatts float64
+	// Correlated selects dependent per-node traces (the bridge recipe)
+	// instead of independent ones (the forest recipe).
+	Correlated bool
+	// Multiplexing is the NVD4Q clone count per logical node (default 1 =
+	// no virtualization). Physical node count = Nodes × Multiplexing.
+	Multiplexing int
+	// FogInstsPerByte overrides the fog-kernel cost (0 keeps the
+	// heavyweight bridge pipeline default).
+	FogInstsPerByte int64
+	// Resumable enables the incidental-computing extension: NV nodes make
+	// partial fog progress on scraps of energy, checkpointed across power
+	// cycles, instead of discarding work they cannot afford whole.
+	Resumable bool
+	// WakeupRadio fits the nano-watt RF wake-up receiver extension: nodes
+	// whose clock died during a blackout rejoin for microjoules instead of
+	// a costly blind listen (§2.3 future work).
+	WakeupRadio bool
+	// Journal, when non-nil, receives one JSON line per simulated round
+	// (round, awake count, fog/cloud/dropped deltas, LB moves, mean stored
+	// energy) for plotting and debugging.
+	Journal io.Writer
+	// Seed makes the run reproducible (default 1).
+	Seed int64
+}
+
+// SimulationResult summarises a run.
+type SimulationResult struct {
+	// Nodes is the physical node count; IdealPackets the zero-loss packet
+	// bound (logical nodes × rounds).
+	Nodes, Rounds, IdealPackets int
+	// Wakeups and WakeFailures count RTC-slot activations and misses.
+	Wakeups, WakeFailures int
+	// FogProcessed packets were handled at the edge; CloudProcessed were
+	// shipped raw; Dropped were discarded for lack of energy.
+	FogProcessed, CloudProcessed, Dropped int
+	// Moves counts load-balance delegations; Rejoins orphan-scan events.
+	Moves, Rejoins int
+}
+
+// TotalProcessed is fog plus cloud packets.
+func (r SimulationResult) TotalProcessed() int { return r.FogProcessed + r.CloudProcessed }
+
+// Simulate runs one deployment.
+func Simulate(cfg SimulationConfig) (SimulationResult, error) {
+	app, err := application(cfg.Application)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	kind, err := systemKind(cfg.System)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	bal, err := balancer(cfg.Balancer, kind)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 10
+	}
+	if cfg.Multiplexing == 0 {
+		cfg.Multiplexing = 1
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	slot := units.Seconds(cfg.SlotSeconds)
+	if cfg.SlotSeconds == 0 {
+		slot = 12 * units.Second
+	}
+	if cfg.Nodes < 1 || cfg.Multiplexing < 1 || slot <= 0 {
+		return SimulationResult{}, fmt.Errorf("neofog: invalid deployment shape (nodes=%d, multiplexing=%d, slot=%v)",
+			cfg.Nodes, cfg.Multiplexing, slot)
+	}
+
+	solar, err := solarConfig(cfg.Weather, cfg.SolarPeakMilliwatts)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	physical := cfg.Nodes * cfg.Multiplexing
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var traces []*energytrace.Sampled
+	if cfg.Correlated {
+		traces = energytrace.DependentSet(solar, physical, 0.3, rng)
+	} else {
+		traces = energytrace.IndependentSet(solar, physical, 5*units.Minute, rng)
+	}
+
+	nodeCfg := node.DefaultConfig(kind, app)
+	if cfg.FogInstsPerByte > 0 {
+		nodeCfg.FogInstsPerByte = cfg.FogInstsPerByte
+	}
+	nodeCfg.Resumable = cfg.Resumable
+	nodeCfg.WakeupRadio = cfg.WakeupRadio
+
+	simCfg := sim.Config{
+		Node:           nodeCfg,
+		Traces:         traces,
+		Slot:           slot,
+		Rounds:         cfg.Rounds,
+		Balancer:       bal,
+		LBInterruption: 0.02,
+		Link:           mesh.DefaultLink(),
+		Journal:        cfg.Journal,
+		Seed:           cfg.Seed,
+	}
+	if cfg.Multiplexing > 1 {
+		positions := mesh.LineDeployment(cfg.Nodes, 90)
+		for i := cfg.Nodes; i < physical; i++ {
+			positions = append(positions, mesh.Position{X: rng.Float64() * 90, Y: (rng.Float64()*2 - 1) * 5})
+		}
+		sets, err := virt.BuildCloneSets(positions, cfg.Nodes)
+		if err != nil {
+			return SimulationResult{}, err
+		}
+		simCfg.CloneSets = sets
+	}
+
+	r, err := sim.Run(simCfg)
+	if err != nil {
+		return SimulationResult{}, err
+	}
+	return SimulationResult{
+		Nodes:          r.Nodes,
+		Rounds:         r.Rounds,
+		IdealPackets:   r.IdealPackets,
+		Wakeups:        r.Wakeups,
+		WakeFailures:   r.WakeFailures,
+		FogProcessed:   r.FogProcessed,
+		CloudProcessed: r.CloudProcessed,
+		Dropped:        r.Dropped,
+		Moves:          r.Moves,
+		Rejoins:        r.Rejoins,
+	}, nil
+}
+
+// FleetResult aggregates a multi-chain deployment.
+type FleetResult struct {
+	// PerChain holds each chain's summary in order.
+	PerChain []SimulationResult
+	// Aggregate sums the chains.
+	Aggregate SimulationResult
+}
+
+// SimulateFleet runs `chains` independent chain deployments of the given
+// shape concurrently (the paper's simulator runs thousands of node models
+// at a time, §4). Chain i uses seed cfg.Seed+i, so the fleet is
+// reproducible and each chain sees distinct traces.
+func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
+	if chains < 1 {
+		return FleetResult{}, fmt.Errorf("neofog: fleet needs ≥1 chain, got %d", chains)
+	}
+	if cfg.Journal != nil {
+		return FleetResult{}, fmt.Errorf("neofog: journals are not supported in fleet runs")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	// Build per-chain sim configs through the same path as Simulate by
+	// running them concurrently at the internal layer would duplicate the
+	// assembly logic; instead run Simulate per chain in parallel — each
+	// call is already deterministic and independent.
+	results := make([]SimulationResult, chains)
+	errs := make([]error, chains)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < chains; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			results[i], errs[i] = Simulate(c)
+		}(i)
+	}
+	wg.Wait()
+	out := FleetResult{PerChain: results}
+	for i, err := range errs {
+		if err != nil {
+			return FleetResult{}, fmt.Errorf("neofog: chain %d: %w", i, err)
+		}
+		r := results[i]
+		a := &out.Aggregate
+		a.Nodes += r.Nodes
+		a.IdealPackets += r.IdealPackets
+		a.Wakeups += r.Wakeups
+		a.WakeFailures += r.WakeFailures
+		a.FogProcessed += r.FogProcessed
+		a.CloudProcessed += r.CloudProcessed
+		a.Dropped += r.Dropped
+		a.Moves += r.Moves
+		a.Rejoins += r.Rejoins
+		if r.Rounds > a.Rounds {
+			a.Rounds = r.Rounds
+		}
+	}
+	return out, nil
+}
+
+func application(a Application) (apps.App, error) {
+	switch a {
+	case AppBridgeHealth, "":
+		return apps.BridgeHealth(), nil
+	case AppUVMeter:
+		return apps.UVMeter(), nil
+	case AppTemperature:
+		return apps.WSNTemp(), nil
+	case AppAcceleration:
+		return apps.WSNAccel(), nil
+	case AppHeartbeat:
+		return apps.PatternMatching(), nil
+	default:
+		return apps.App{}, fmt.Errorf("neofog: unknown application %q", a)
+	}
+}
+
+func systemKind(s System) (node.SystemKind, error) {
+	switch s {
+	case SystemVP:
+		return node.NOSVP, nil
+	case SystemNVP:
+		return node.NOSNVP, nil
+	case SystemNEOFog, "":
+		return node.FIOSNVMote, nil
+	default:
+		return 0, fmt.Errorf("neofog: unknown system %q", s)
+	}
+}
+
+func balancer(b Balancer, kind node.SystemKind) (sched.Balancer, error) {
+	switch b {
+	case BalanceNone:
+		return sched.NoBalance{}, nil
+	case BalanceTree:
+		return sched.BaselineTree{}, nil
+	case BalanceDistributed:
+		return sched.Distributed{}, nil
+	case "":
+		switch kind {
+		case node.NOSVP:
+			return sched.NoBalance{}, nil
+		case node.NOSNVP:
+			return sched.BaselineTree{}, nil
+		default:
+			return sched.Distributed{}, nil
+		}
+	default:
+		return nil, fmt.Errorf("neofog: unknown balancer %q", b)
+	}
+}
+
+func solarConfig(w Weather, peak float64) (energytrace.SolarConfig, error) {
+	var cfg energytrace.SolarConfig
+	switch w {
+	case WeatherSunny, "":
+		cfg = energytrace.SunnyDay()
+		cfg.Peak = 0.7 // the calibrated Fig. 10 regime
+	case WeatherOvercast:
+		cfg = energytrace.OvercastDay()
+	case WeatherRainy:
+		cfg = energytrace.RainyDay()
+		cfg.Peak = 0.5
+	default:
+		return cfg, fmt.Errorf("neofog: unknown weather %q", w)
+	}
+	if peak > 0 {
+		cfg.Peak = units.Power(peak)
+	}
+	return cfg, nil
+}
+
+// ExperimentIDs lists the reproducible paper artifacts in presentation
+// order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+var experimentRunners = map[string]func(opts experiments.Options) (*metrics.Table, error){
+	"table1": func(experiments.Options) (*metrics.Table, error) { return experiments.Table1(), nil },
+	"table2": func(o experiments.Options) (*metrics.Table, error) { return experiments.Table2(o.Seed), nil },
+	"fig4":   func(experiments.Options) (*metrics.Table, error) { return experiments.Fig4Timing(), nil },
+	"fig6":   func(o experiments.Options) (*metrics.Table, error) { return experiments.Fig6Scenario(o.Seed), nil },
+	"fig7":   func(o experiments.Options) (*metrics.Table, error) { return experiments.Fig7Hops(o.Seed) },
+	"fig8":   func(experiments.Options) (*metrics.Table, error) { return experiments.Fig8ChainSchedule(5, 5) },
+	"fig9": func(o experiments.Options) (*metrics.Table, error) {
+		r, err := experiments.Fig9StoredEnergy(o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	},
+	"fig10": func(o experiments.Options) (*metrics.Table, error) {
+		t, _, err := experiments.Fig10Independent(o)
+		return t, err
+	},
+	"fig11": func(o experiments.Options) (*metrics.Table, error) {
+		t, _, err := experiments.Fig11Dependent(o)
+		return t, err
+	},
+	"fig12": func(o experiments.Options) (*metrics.Table, error) {
+		t, _, err := experiments.Fig12MultiplexHigh(o)
+		return t, err
+	},
+	"fig13": func(o experiments.Options) (*metrics.Table, error) {
+		t, _, err := experiments.Fig13MultiplexLow(o)
+		return t, err
+	},
+	"wispcam": func(experiments.Options) (*metrics.Table, error) { return experiments.WispCam().Table, nil },
+	"camera": func(o experiments.Options) (*metrics.Table, error) {
+		r, err := experiments.Camera(o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	},
+	"headline": func(o experiments.Options) (*metrics.Table, error) {
+		h, err := experiments.Headline(o)
+		if err != nil {
+			return nil, err
+		}
+		return h.Table, nil
+	},
+}
+
+// RunExperiment regenerates one paper artifact by ID (see ExperimentIDs)
+// and returns its formatted table.
+func RunExperiment(id string, opts ExperimentOptions) (string, error) {
+	t, err := runExperimentTable(id, opts)
+	if err != nil {
+		return "", err
+	}
+	return t.Format(), nil
+}
+
+// RunExperimentCSV regenerates one paper artifact and writes it as CSV.
+func RunExperimentCSV(id string, opts ExperimentOptions, w io.Writer) error {
+	t, err := runExperimentTable(id, opts)
+	if err != nil {
+		return err
+	}
+	return t.WriteCSV(w)
+}
+
+func runExperimentTable(id string, opts ExperimentOptions) (*metrics.Table, error) {
+	run, ok := experimentRunners[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("neofog: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
+	}
+	o := experiments.Options{Seed: opts.Seed, Nodes: opts.Nodes, Rounds: opts.Rounds}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return run(o)
+}
+
+// ExperimentOptions tunes RunExperiment.
+type ExperimentOptions struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Nodes overrides the chain length (default 10).
+	Nodes int
+	// Rounds overrides the RTC slot count (default 1500; use less for a
+	// quick look).
+	Rounds int
+}

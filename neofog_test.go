@@ -1,0 +1,176 @@
+package neofog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSimulateDefaults(t *testing.T) {
+	res, err := Simulate(SimulationConfig{Rounds: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 10 || res.Rounds != 50 || res.IdealPackets != 500 {
+		t.Fatalf("defaults wrong: %+v", res)
+	}
+	if res.TotalProcessed() != res.FogProcessed+res.CloudProcessed {
+		t.Fatal("TotalProcessed mismatch")
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	cfg := SimulationConfig{Rounds: 80, Seed: 9}
+	a, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimulateSystemOrdering(t *testing.T) {
+	run := func(sys System) SimulationResult {
+		r, err := Simulate(SimulationConfig{System: sys, Seed: 5, Rounds: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	vp, nvp, neo := run(SystemVP), run(SystemNVP), run(SystemNEOFog)
+	if !(neo.TotalProcessed() > nvp.TotalProcessed() && nvp.TotalProcessed() > vp.TotalProcessed()) {
+		t.Fatalf("ordering violated: vp=%d nvp=%d neo=%d",
+			vp.TotalProcessed(), nvp.TotalProcessed(), neo.TotalProcessed())
+	}
+	if vp.FogProcessed != 0 {
+		t.Fatal("VP must not fog-process the bridge kernel")
+	}
+}
+
+func TestSimulateMultiplexing(t *testing.T) {
+	base, err := Simulate(SimulationConfig{Weather: WeatherRainy, Correlated: true,
+		FogInstsPerByte: 800, Seed: 3, Rounds: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux, err := Simulate(SimulationConfig{Weather: WeatherRainy, Correlated: true,
+		FogInstsPerByte: 800, Seed: 3, Rounds: 600, Multiplexing: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mux.Nodes != 30 || mux.IdealPackets != base.IdealPackets {
+		t.Fatalf("multiplexing shape wrong: %+v", mux)
+	}
+	if mux.TotalProcessed() <= base.TotalProcessed() {
+		t.Fatalf("3× multiplexing should lift rainy-day QoS: %d vs %d",
+			mux.TotalProcessed(), base.TotalProcessed())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	cases := []SimulationConfig{
+		{System: "warp-drive"},
+		{Balancer: "chaotic"},
+		{Weather: "hail"},
+		{Application: "juicer"},
+		{Nodes: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := Simulate(cfg); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, cfg)
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 14 {
+		t.Fatalf("experiments = %d, want 14: %v", len(ids), ids)
+	}
+	for _, want := range []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "wispcam", "camera"} {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing experiment %q", want)
+		}
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	// The cheap experiments run fully; just verify they produce tables.
+	for _, id := range []string{"table1", "table2", "fig4", "fig6", "fig7"} {
+		out, err := RunExperiment(id, ExperimentOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "\n") || len(out) < 50 {
+			t.Fatalf("%s: implausible output %q", id, out)
+		}
+	}
+	if _, err := RunExperiment("fig99", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunExperimentSimBacked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiments")
+	}
+	out, err := RunExperiment("fig10", ExperimentOptions{Seed: 1, Rounds: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FIOS-NEOFog") {
+		t.Fatalf("fig10 output missing system rows:\n%s", out)
+	}
+}
+
+func TestSimulateFleet(t *testing.T) {
+	cfg := SimulationConfig{Rounds: 60, Nodes: 5, Seed: 11}
+	fleet, err := SimulateFleet(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet.PerChain) != 4 || fleet.Aggregate.Nodes != 20 {
+		t.Fatalf("fleet shape: %+v", fleet.Aggregate)
+	}
+	// Chain 0 must equal a standalone run with the same seed.
+	solo, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleet.PerChain[0] != solo {
+		t.Fatalf("chain 0 diverged:\n%+v\n%+v", fleet.PerChain[0], solo)
+	}
+	if _, err := SimulateFleet(cfg, 0); err == nil {
+		t.Fatal("zero chains should error")
+	}
+}
+
+func TestSimulateJournal(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Simulate(SimulationConfig{Nodes: 3, Rounds: 25, Seed: 2, Journal: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != res.Rounds {
+		t.Fatalf("journal lines = %d, want %d", lines, res.Rounds)
+	}
+	if !json.Valid(buf.Bytes()[:bytes.IndexByte(buf.Bytes(), '\n')]) {
+		t.Fatal("journal line is not valid JSON")
+	}
+	// Journals are rejected in fleet runs (writers would interleave).
+	if _, err := SimulateFleet(SimulationConfig{Journal: &buf}, 2); err == nil {
+		t.Fatal("fleet with journal should error")
+	}
+}
