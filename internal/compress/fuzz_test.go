@@ -1,0 +1,49 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCompressRoundTrip checks the compressor's contract on arbitrary
+// payloads: Compress(data) must decompress back to data byte-for-byte at
+// every valid stride/order, never expand beyond the 8-byte header, and
+// Decompress must reject (not panic on) the raw fuzz input when it is not
+// a valid blob.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{}, byte(0), byte(0))
+	f.Add([]byte("hello, fog"), byte(1), byte(1))
+	f.Add(bytes.Repeat([]byte{0, 1, 2, 3}, 64), byte(4), byte(2))
+	f.Add(bytes.Repeat([]byte{0}, 300), byte(2), byte(1))
+	smooth := make([]byte, 256)
+	for i := range smooth {
+		smooth[i] = byte(i / 4)
+	}
+	f.Add(smooth, byte(2), byte(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, stride, order byte) {
+		s := int(stride) % 16 // Compress documents stride ≤ 15
+		o := int(order) % 3   // and order 0–2; out of range panics by contract
+
+		blob, st := Compress(data, s, o)
+		if st.InBytes != len(data) || st.OutBytes != len(blob) {
+			t.Fatalf("stats lie: %+v for in=%d out=%d", st, len(data), len(blob))
+		}
+		if len(blob) > len(data)+8 {
+			t.Fatalf("expanded beyond the stored-block bound: %d → %d", len(data), len(blob))
+		}
+		out, _, err := Decompress(blob)
+		if err != nil {
+			t.Fatalf("round trip failed (stride %d, order %d): %v", s, o, err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip corrupted %d bytes (stride %d, order %d)", len(data), s, o)
+		}
+
+		// Arbitrary bytes fed straight to Decompress must error or decode
+		// cleanly — never panic, never return with a wrong length claim.
+		if dec, st, err := Decompress(data); err == nil && len(dec) != st.OutBytes {
+			t.Fatalf("decoder length claim wrong: %d vs %d", len(dec), st.OutBytes)
+		}
+	})
+}

@@ -200,9 +200,13 @@ func systems() []struct {
 	}
 }
 
-func runSystem(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.Sampled,
-	opts Options, mut func(*sim.Config)) (sim.Result, error) {
-	cfg := sim.Config{
+// systemConfig builds the simulator configuration every harness here runs
+// a system stack under. Exposing the builder (rather than only runSystem)
+// lets the chaos campaign run the exact Fig. 10 configuration through its
+// own sweep, so its zero-fault row reproduces the figure's numbers.
+func systemConfig(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.Sampled,
+	opts Options) sim.Config {
+	return sim.Config{
 		Node:           node.DefaultConfig(kind, apps.BridgeHealth()),
 		Traces:         traces,
 		Slot:           Slot,
@@ -212,6 +216,11 @@ func runSystem(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.S
 		Link:           mesh.DefaultLink(),
 		Seed:           opts.Seed,
 	}
+}
+
+func runSystem(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.Sampled,
+	opts Options, mut func(*sim.Config)) (sim.Result, error) {
+	cfg := systemConfig(kind, bal, traces, opts)
 	if mut != nil {
 		mut(&cfg)
 	}

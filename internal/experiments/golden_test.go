@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neofog/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// goldenOpts keeps the golden runs short: the CSVs pin exact numbers, so
+// any behavioural drift in the simulator, balancers, fault injection, or
+// table formatting shows up as a byte-level diff.
+var goldenOpts = Options{Seed: 1, Rounds: 300}
+
+func checkGolden(t *testing.T, name string, tb *metrics.Table) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiments -run Golden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\n"+
+			"If the change is intentional, regenerate with -update.", name, buf.Bytes(), want)
+	}
+}
+
+func TestGoldenTable1(t *testing.T) {
+	checkGolden(t, "table1", Table1())
+}
+
+func TestGoldenFig10(t *testing.T) {
+	tb, _, err := Fig10Independent(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig10", tb)
+}
+
+func TestGoldenChaos(t *testing.T) {
+	c, err := Chaos(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "chaos", c.Table)
+}

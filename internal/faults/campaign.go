@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"neofog/internal/metrics"
+	"neofog/internal/sim"
+)
+
+// Campaign sweeps fault intensity over one base configuration and asserts
+// the graceful-degradation invariants on every run: exact packet
+// conservation, monotone non-improvement as intensity rises, and recovery
+// of the wake and processing rates once the fault window clears. Because
+// generated plans are nested (see Generate), each step up in intensity
+// faces a superset of the previous step's adversity.
+type Campaign struct {
+	// Base is the fault-free configuration every run shares. Its Journal
+	// must be nil (the campaign installs its own to measure recovery) and
+	// its Faults must be empty (the campaign owns the hooks).
+	Base sim.Config
+	// Intensities are the sweep points, non-decreasing in [0, 1] and
+	// starting at 0 — the zero-fault run is the baseline all invariants
+	// are judged against. Default {0, 0.25, 0.5, 0.75, 1}.
+	Intensities []float64
+	// Gen shapes plan generation; Nodes and Rounds are filled in from
+	// Base when zero.
+	Gen GenConfig
+	// Seed drives plan generation (independent of Base.Seed, which
+	// drives the simulation itself).
+	Seed int64
+	// Tolerance is the relative slack allowed by the monotonicity check
+	// (default 0.02): injected faults perturb the run's RNG stream, so
+	// adjacent intensities can jitter by a little even though the trend
+	// must not improve.
+	Tolerance float64
+	// RecoveryFloor is the fraction of the baseline tail-window rates a
+	// faulted run must regain after its faults clear (default 0.7).
+	RecoveryFloor float64
+}
+
+// Point is one intensity's outcome.
+type Point struct {
+	Intensity float64
+	// Events is the number of fault events injected; Plan the schedule.
+	Events int
+	Plan   *Plan
+	Result sim.Result
+	// TailWakeRate and TailProcRate are the per-round awake-node and
+	// processed-packet (fog + cloud) rates over the tail window, after
+	// every fault has cleared — the recovery signal.
+	TailWakeRate, TailProcRate float64
+}
+
+// Report is a completed campaign.
+type Report struct {
+	Points []Point
+	// TailStart is the first round of the recovery window the tail rates
+	// are measured over.
+	TailStart int
+	// Table is the per-intensity degradation report.
+	Table *metrics.Table
+}
+
+func (c Campaign) withDefaults() (Campaign, error) {
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{0, 0.25, 0.5, 0.75, 1}
+	}
+	if c.Intensities[0] != 0 {
+		return c, fmt.Errorf("faults: campaign needs a zero-intensity baseline first, got %v", c.Intensities[0])
+	}
+	for i, x := range c.Intensities {
+		if x < 0 || x > 1 {
+			return c, fmt.Errorf("faults: intensity %v outside [0, 1]", x)
+		}
+		if i > 0 && x < c.Intensities[i-1] {
+			return c, fmt.Errorf("faults: intensities must be non-decreasing, got %v after %v", x, c.Intensities[i-1])
+		}
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.02
+	}
+	if c.RecoveryFloor == 0 {
+		c.RecoveryFloor = 0.7
+	}
+	if c.Base.Journal != nil {
+		return c, fmt.Errorf("faults: campaign owns the journal; Base.Journal must be nil")
+	}
+	f := c.Base.Faults
+	if f.NodeDown != nil || f.Blackout != nil || f.RFFailed != nil ||
+		f.SensorStuck != nil || f.Link != nil || f.AbortBalance != nil {
+		return c, fmt.Errorf("faults: campaign owns the fault hooks; Base.Faults must be empty")
+	}
+	if len(c.Base.Traces) == 0 || c.Base.Slot <= 0 {
+		return c, fmt.Errorf("faults: campaign base config needs traces and a slot")
+	}
+	if c.Gen.Nodes == 0 {
+		c.Gen.Nodes = len(c.Base.Traces)
+	}
+	if c.Gen.Rounds == 0 {
+		rounds := c.Base.Rounds
+		if maxRounds := int(c.Base.Traces[0].Duration() / c.Base.Slot); rounds == 0 || rounds > maxRounds {
+			rounds = maxRounds
+		}
+		c.Gen.Rounds = rounds
+	}
+	c.Gen = c.Gen.withDefaults()
+	return c, nil
+}
+
+// Run executes the sweep and checks every invariant, returning an error
+// naming the first violated one.
+func (c Campaign) Run() (*Report, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	// The recovery window: after every generated fault has cleared, with
+	// at least the last quarter of the run when the window allows it.
+	rounds := c.Gen.Rounds
+	tailStart := rounds - rounds/4
+	if byWindow := int(math.Ceil(c.Gen.WindowEnd * float64(rounds))); tailStart < byWindow {
+		tailStart = byWindow
+	}
+	if tailStart >= rounds {
+		return nil, fmt.Errorf("faults: no recovery window left after round %d of %d", tailStart, rounds)
+	}
+
+	rep := &Report{TailStart: tailStart}
+	for _, intensity := range c.Intensities {
+		plan, err := Generate(c.Seed, intensity, c.Gen)
+		if err != nil {
+			return nil, err
+		}
+		if last := plan.LastEnd(); last > tailStart {
+			return nil, fmt.Errorf("faults: plan at intensity %v runs to round %d, past the recovery window at %d",
+				intensity, last, tailStart)
+		}
+
+		cfg := c.Base
+		plan.Apply(&cfg)
+		journal := &bytes.Buffer{}
+		cfg.Journal = journal
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("faults: intensity %v: %w", intensity, err)
+		}
+
+		pt := Point{Intensity: intensity, Events: len(plan.Events), Plan: plan, Result: res}
+		pt.TailWakeRate, pt.TailProcRate, err = tailRates(journal.Bytes(), tailStart, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("faults: intensity %v: %w", intensity, err)
+		}
+
+		// Invariant: exact packet-accounting conservation, faults or not.
+		if !res.Conserved() {
+			return nil, fmt.Errorf("faults: intensity %v breaks conservation: %d samples vs %d fog + %d cloud + %d dropped + %d lost + %d unexecuted + %d queued",
+				intensity, res.Samples, res.FogProcessed, res.CloudProcessed,
+				res.Dropped, res.LostRaw, res.Unexecuted, res.QueuedEnd)
+		}
+		// Invariant: more faults never process more data. The slack covers
+		// RNG-stream jitter, never a real improvement.
+		if n := len(rep.Points); n > 0 {
+			prev := rep.Points[n-1]
+			slack := c.Tolerance * float64(prev.Result.TotalProcessed())
+			if slack < 3 {
+				slack = 3
+			}
+			if float64(res.TotalProcessed()) > float64(prev.Result.TotalProcessed())+slack {
+				return nil, fmt.Errorf("faults: intensity %v processed %d packets, more than %d at intensity %v",
+					intensity, res.TotalProcessed(), prev.Result.TotalProcessed(), prev.Intensity)
+			}
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+
+	// Invariant: once the faults clear, every run's tail rates recover to
+	// within RecoveryFloor of the zero-fault baseline.
+	base := rep.Points[0]
+	for _, pt := range rep.Points[1:] {
+		if pt.TailWakeRate < c.RecoveryFloor*base.TailWakeRate {
+			return nil, fmt.Errorf("faults: intensity %v wake rate %.2f/round never recovered (baseline %.2f/round)",
+				pt.Intensity, pt.TailWakeRate, base.TailWakeRate)
+		}
+		if pt.TailProcRate < c.RecoveryFloor*base.TailProcRate {
+			return nil, fmt.Errorf("faults: intensity %v processing rate %.2f/round never recovered (baseline %.2f/round)",
+				pt.Intensity, pt.TailProcRate, base.TailProcRate)
+		}
+	}
+
+	rep.Table = c.table(rep)
+	return rep, nil
+}
+
+// table renders the sweep as the chaos report.
+func (c Campaign) table(rep *Report) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Chaos campaign: %d nodes, %d rounds, fault seed %d, recovery window from round %d",
+			c.Gen.Nodes, c.Gen.Rounds, c.Seed, rep.TailStart),
+		"Intensity", "Events", "Wakeups", "Samples", "Fog", "Cloud", "Dropped",
+		"LostRaw", "LostResults", "Unexecuted", "Queued", "CrashedSlots",
+		"StuckSamples", "TailWake/rnd", "TailProc/rnd",
+	)
+	for _, pt := range rep.Points {
+		r := pt.Result
+		t.AddRow(
+			metrics.Ftoa(pt.Intensity, 2), metrics.Itoa(pt.Events),
+			metrics.Itoa(r.Wakeups), metrics.Itoa(r.Samples),
+			metrics.Itoa(r.FogProcessed), metrics.Itoa(r.CloudProcessed),
+			metrics.Itoa(r.Dropped), metrics.Itoa(r.LostRaw),
+			metrics.Itoa(r.LostResults), metrics.Itoa(r.Unexecuted),
+			metrics.Itoa(r.QueuedEnd), metrics.Itoa(r.CrashedSlots),
+			metrics.Itoa(r.StuckSamples),
+			metrics.Ftoa(pt.TailWakeRate, 3), metrics.Ftoa(pt.TailProcRate, 3),
+		)
+	}
+	return t
+}
+
+// tailRates parses the JSONL journal and averages the awake-node and
+// processed-packet counts per round over [tailStart, rounds).
+func tailRates(journal []byte, tailStart, rounds int) (wake, proc float64, err error) {
+	dec := json.NewDecoder(bytes.NewReader(journal))
+	n := 0
+	for {
+		var e struct {
+			Round int `json:"round"`
+			Awake int `json:"awake"`
+			Fog   int `json:"fog"`
+			Cloud int `json:"cloud"`
+		}
+		if err := dec.Decode(&e); err != nil {
+			break
+		}
+		if e.Round < tailStart {
+			continue
+		}
+		wake += float64(e.Awake)
+		proc += float64(e.Fog + e.Cloud)
+		n++
+	}
+	if n != rounds-tailStart {
+		return 0, 0, fmt.Errorf("journal covered %d tail rounds, want %d", n, rounds-tailStart)
+	}
+	return wake / float64(n), proc / float64(n), nil
+}

@@ -1,0 +1,45 @@
+package isa
+
+import (
+	"testing"
+)
+
+// FuzzAssemble throws arbitrary source at the assembler: it must either
+// return a non-empty machine-code image or a descriptive error — never
+// panic, and never emit code whose size disagrees with the two-pass
+// layout (Assemble checks that internally and reports "size drift").
+func FuzzAssemble(f *testing.F) {
+	f.Add("")
+	f.Add("HALT")
+	f.Add("MOV R0,#9\nHALT")
+	f.Add("loop: DJNZ R2,loop\nSJMP loop")
+	f.Add("        MOV DPTR,#0x100\n        MOVX A,@DPTR\n        ADD A,R3\nHALT")
+	f.Add("; comment only\nlab:\nlab2: MOV A,#0xFF")
+	f.Add("MOV A,#300")   // immediate out of range
+	f.Add("JUMPY R9,#-1") // unknown mnemonic / bad register
+
+	f.Fuzz(func(t *testing.T, src string) {
+		code, err := Assemble(src)
+		if err != nil {
+			if code != nil {
+				t.Fatalf("error %v returned alongside code", err)
+			}
+			return
+		}
+		if len(code) == 0 {
+			t.Fatal("Assemble returned success with empty code")
+		}
+		if len(code) > 2*len(src)+8 {
+			// Each instruction comes from ≥3 source bytes and encodes to
+			// ≤3 bytes; success with code much longer than the source
+			// means the layout pass miscounted.
+			t.Fatalf("implausible code size %d from %d source bytes", len(code), len(src))
+		}
+		// A successfully assembled program re-assembles identically:
+		// assembly is a pure function of the source.
+		again, err := Assemble(src)
+		if err != nil || string(again) != string(code) {
+			t.Fatalf("reassembly diverged: %v", err)
+		}
+	})
+}

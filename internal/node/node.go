@@ -153,6 +153,9 @@ type Node struct {
 	// desynced marks a node whose RTC died: it no longer knows the
 	// network's time slots (see rtc.go).
 	desynced bool
+	// rfFailed marks the radio as failed for the current slot (an injected
+	// RF-init fault): transmits and receives fail without draining the cap.
+	rfFailed bool
 
 	Stats Stats
 }
@@ -170,6 +173,9 @@ type Stats struct {
 	Relayed       int
 	Resyncs       int // RTC resynchronisations after clock death (§2.3)
 	DesyncedSlots int // slots missed while out of sync
+	CrashedSlots  int // slots lost to an injected node crash
+	StuckSamples  int // samples taken while a sensor stuck-at fault was active
+	RFFailures    int // radio operations refused by an injected RF-init fault
 	EnergySpent   units.Energy
 	// Overflow is the energy the main cap rejected while full — the waste
 	// Fig. 9 shows for unbalanced systems. It is filled in when a
@@ -470,10 +476,22 @@ func (n *Node) txCost(bytes int) rf.Cost {
 	return c
 }
 
+// SetRFFailed injects (or clears) a per-slot RF-init failure: a radio that
+// never comes up cannot transmit or receive, but the attempt does not brown
+// the node out — the init sequence aborts before the power amplifier draws.
+func (n *Node) SetRFFailed(failed bool) { n.rfFailed = failed }
+
+// RFFailed reports whether the radio is failed this slot.
+func (n *Node) RFFailed() bool { return n.rfFailed }
+
 // Transmit pays for a radio operation from the cap. A node that cannot
 // afford it browns out mid-transmission: the stored energy is lost — the
 // NOS failure mode that dominates the VP's Fig. 10 numbers.
 func (n *Node) Transmit(c rf.Cost) bool {
+	if n.rfFailed {
+		n.Stats.RFFailures++
+		return false
+	}
 	n.Stats.TxAttempts++
 	if n.spendFromCap(c.Energy) {
 		return true
@@ -487,6 +505,10 @@ func (n *Node) Transmit(c rf.Cost) bool {
 
 // Receive pays for receiving `bytes` from a chain neighbour.
 func (n *Node) Receive(bytes int) bool {
+	if n.rfFailed {
+		n.Stats.RFFailures++
+		return false
+	}
 	c := n.controller().RxCost(bytes)
 	ok := n.spendFromCap(c.Energy)
 	if ok {

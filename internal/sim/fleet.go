@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,14 +24,23 @@ type FleetResult struct {
 	Aggregate Result
 }
 
-// RunFleet runs every chain config concurrently and aggregates.
+// RunFleet runs every chain config concurrently and aggregates. Chains
+// with a Journal write into private buffers during the run; the buffers
+// are flushed to the configured writers in input order afterwards, so a
+// shared writer sees chain 0's rounds, then chain 1's, and so on — never
+// an interleaving.
 func RunFleet(configs []Config) (FleetResult, error) {
 	if len(configs) == 0 {
 		return FleetResult{}, fmt.Errorf("sim: empty fleet")
 	}
+
+	local := make([]Config, len(configs))
+	journals := make([]*bytes.Buffer, len(configs))
 	for i := range configs {
+		local[i] = configs[i]
 		if configs[i].Journal != nil {
-			return FleetResult{}, fmt.Errorf("sim: chain %d: journals are not supported in fleet runs (writers would interleave)", i)
+			journals[i] = &bytes.Buffer{}
+			local[i].Journal = journals[i]
 		}
 	}
 
@@ -38,19 +48,27 @@ func RunFleet(configs []Config) (FleetResult, error) {
 	errs := make([]error, len(configs))
 	sem := make(chan struct{}, maxParallel())
 	var wg sync.WaitGroup
-	for i := range configs {
+	for i := range local {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = Run(configs[i])
+			results[i], errs[i] = Run(local[i])
 		}(i)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
 			return FleetResult{}, fmt.Errorf("sim: chain %d: %w", i, err)
+		}
+	}
+	for i, buf := range journals {
+		if buf == nil {
+			continue
+		}
+		if _, err := configs[i].Journal.Write(buf.Bytes()); err != nil {
+			return FleetResult{}, fmt.Errorf("sim: chain %d: flushing journal: %w", i, err)
 		}
 	}
 
@@ -61,10 +79,17 @@ func RunFleet(configs []Config) (FleetResult, error) {
 		a.IdealPackets += r.IdealPackets
 		a.Wakeups += r.Wakeups
 		a.WakeFailures += r.WakeFailures
+		a.Samples += r.Samples
 		a.FogProcessed += r.FogProcessed
 		a.CloudProcessed += r.CloudProcessed
 		a.Dropped += r.Dropped
 		a.LostInFlight += r.LostInFlight
+		a.LostRaw += r.LostRaw
+		a.LostResults += r.LostResults
+		a.Unexecuted += r.Unexecuted
+		a.QueuedEnd += r.QueuedEnd
+		a.CrashedSlots += r.CrashedSlots
+		a.StuckSamples += r.StuckSamples
 		a.Rejoins += r.Rejoins
 		a.Moves += r.Moves
 		if r.Rounds > a.Rounds {

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
 	"neofog/internal/apps"
@@ -81,9 +82,62 @@ func TestRunFleetErrors(t *testing.T) {
 	if _, err := RunFleet(bad); err == nil {
 		t.Fatal("broken chain config should surface its error")
 	}
-	withJournal := fleetConfigs(t, 1)
-	withJournal[0].Journal = &bytes.Buffer{}
-	if _, err := RunFleet(withJournal); err == nil {
-		t.Fatal("journals must be rejected in fleet runs")
+}
+
+// Fleet journals must come out exactly as if the chains had run serially
+// against the shared writer: chain 0's rounds first, then chain 1's, with
+// no interleaving, even though the chains execute concurrently.
+func TestRunFleetJournalOrdering(t *testing.T) {
+	const chains = 4
+	shared := &bytes.Buffer{}
+	cfgs := fleetConfigs(t, chains)
+	for i := range cfgs {
+		cfgs[i].Journal = shared
+	}
+	fleet, err := RunFleet(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Serial reference: each chain journalled alone.
+	want := &bytes.Buffer{}
+	serial := fleetConfigs(t, chains)
+	for i := range serial {
+		serial[i].Journal = want
+		if _, err := Run(serial[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(shared.Bytes(), want.Bytes()) {
+		t.Fatalf("fleet journal differs from serial order (%d vs %d bytes)",
+			shared.Len(), want.Len())
+	}
+
+	// Structural check: the round counter restarts at 0 exactly `chains`
+	// times, each ascent covering that chain's round count.
+	dec := json.NewDecoder(bytes.NewReader(shared.Bytes()))
+	chainIdx, next := 0, 0
+	for {
+		var e struct {
+			Round int `json:"round"`
+		}
+		if err := dec.Decode(&e); err != nil {
+			break
+		}
+		if e.Round == 0 && next != 0 {
+			if next != fleet.PerChain[chainIdx].Rounds {
+				t.Fatalf("chain %d journalled %d rounds, result says %d",
+					chainIdx, next, fleet.PerChain[chainIdx].Rounds)
+			}
+			chainIdx++
+			next = 0
+		}
+		if e.Round != next {
+			t.Fatalf("chain %d: round %d out of order (want %d)", chainIdx, e.Round, next)
+		}
+		next++
+	}
+	if chainIdx != chains-1 || next != fleet.PerChain[chainIdx].Rounds {
+		t.Fatalf("journal ended mid-chain: chain %d round %d", chainIdx, next)
 	}
 }

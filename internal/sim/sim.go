@@ -68,8 +68,41 @@ type Config struct {
 	// round's aggregate activity — the observability hook for debugging
 	// and plotting deployments.
 	Journal io.Writer
+	// Faults injects deterministic adversity (node crashes, link
+	// degradation, RF failures, stuck sensors, power blackouts, balancing
+	// aborts); see internal/faults for plan generation. The zero value
+	// injects nothing and leaves the run bit-identical to a fault-free one.
+	Faults FaultHooks
 	// Seed drives all randomness in the run.
 	Seed int64
+}
+
+// FaultHooks are the simulator's fault-injection points. Each hook is
+// consulted with the physical node index and/or round; nil hooks are
+// inactive. Hooks must be pure functions of their arguments (no RNG, no
+// state) so that runs stay deterministic and fault-free rounds are
+// bit-identical with hooks installed.
+type FaultHooks struct {
+	// NodeDown reports that the node is crashed this round: it does not
+	// wake, sample, or participate, though its harvester keeps charging
+	// (revival is spontaneous once the hook clears).
+	NodeDown func(phys, round int) bool
+	// Blackout zeroes the node's harvest income this round (a cloudburst
+	// or panel failure); stored energy still drains normally.
+	Blackout func(phys, round int) bool
+	// RFFailed reports that the node's radio fails to initialise this
+	// round: every transmit and receive on that node fails without
+	// draining the cap.
+	RFFailed func(phys, round int) bool
+	// SensorStuck marks the node's sample this round as stuck-at garbage;
+	// the packet still flows (the node cannot tell), but it is counted.
+	SensorStuck func(phys, round int) bool
+	// Link, when it reports ok, overrides the round's link model —
+	// degradation below the measured 99.25% success rate.
+	Link func(round int) (mesh.LinkModel, bool)
+	// AbortBalance forces every balancing invocation this round to be cut
+	// short by a power failure (LBInterruption = 1).
+	AbortBalance func(round int) bool
 }
 
 // journalEntry is one round's record in the JSONL journal.
@@ -90,14 +123,35 @@ type Result struct {
 	IdealPackets int
 	// Wakeups counts node activations; WakeFailures the missed slots.
 	Wakeups, WakeFailures int
+	// Samples counts packets actually captured (successful wakes of
+	// responsible clones) — the left side of the conservation identity
+	// Samples = Fog + Cloud + Dropped + LostRaw + Unexecuted + QueuedEnd.
+	Samples int
 	// FogProcessed are packets processed at the edge; CloudProcessed are
 	// raw packets delivered for cloud processing; together they are the
 	// "total data packages processed".
 	FogProcessed, CloudProcessed int
 	// Dropped counts packets lost to energy shortage or full buffers.
 	Dropped int
-	// LostInFlight counts packets lost to link errors or dead relays.
+	// LostInFlight counts transmissions lost to link errors or dead
+	// relays; it is LostRaw + LostResults.
 	LostInFlight int
+	// LostRaw counts raw data packets lost in flight (real-time requests,
+	// cloud shipping, and load-balance transfers): the sampled data is
+	// gone. LostResults counts fog result packets lost after processing —
+	// the work still counts as FogProcessed, only the small result
+	// transmission failed.
+	LostRaw, LostResults int
+	// Unexecuted counts tasks the balancer booked for execution that the
+	// assignee could not run (it browned out mid-slot); the data is lost
+	// to energy shortage, but distinctly from the explicit Dropped policy.
+	Unexecuted int
+	// QueuedEnd counts packets still awaiting fog processing when the run
+	// ended (the live backlog).
+	QueuedEnd int
+	// CrashedSlots counts slots lost to injected node crashes;
+	// StuckSamples counts samples taken while a sensor fault was active.
+	CrashedSlots, StuckSamples int
 	// Rejoins counts orphan-scan re-associations.
 	Rejoins int
 	// Moves counts load-balance task delegations.
@@ -110,6 +164,14 @@ type Result struct {
 
 // TotalProcessed is fog + cloud packets.
 func (r Result) TotalProcessed() int { return r.FogProcessed + r.CloudProcessed }
+
+// Conserved reports whether the packet-accounting identity holds exactly:
+// every captured sample was fog-processed, cloud-delivered, dropped by the
+// backlog policy, lost in flight as raw data, stranded by a mid-slot
+// brownout, or is still queued. Fault injection must never break it.
+func (r Result) Conserved() bool {
+	return r.Samples == r.FogProcessed+r.CloudProcessed+r.Dropped+r.LostRaw+r.Unexecuted+r.QueuedEnd
+}
 
 // Run executes the simulation.
 func Run(cfg Config) (Result, error) {
@@ -183,12 +245,22 @@ func Run(cfg Config) (Result, error) {
 		if cfg.LinkAt != nil {
 			link = cfg.LinkAt(round)
 		}
+		if cfg.Faults.Link != nil {
+			if lm, ok := cfg.Faults.Link(round); ok {
+				link = lm
+			}
+		}
 
 		// Record each node's income for the slot; banking happens at slot
 		// end so the FIOS direct channel and the charge path share (rather
 		// than double-count) the same harvest.
 		for i, nd := range nodes {
-			nd.BeginSlot(meanPower(cfg.Traces[i], t0, cfg.Slot))
+			income := meanPower(cfg.Traces[i], t0, cfg.Slot)
+			if cfg.Faults.Blackout != nil && cfg.Faults.Blackout(i, round) {
+				income = 0
+			}
+			nd.BeginSlot(income)
+			nd.SetRFFailed(cfg.Faults.RFFailed != nil && cfg.Faults.RFFailed(i, round))
 		}
 
 		// Wake phase: the responsible clone of each logical node tries to
@@ -199,6 +271,14 @@ func Run(cfg Config) (Result, error) {
 			phys := set.Responsible(round)
 			nd := nodes[phys]
 			awakeIdx[li] = phys
+			// An injected crash takes the node out of the round entirely:
+			// no wake, no sample, no participation. Its neighbours see a
+			// dead relay exactly as with an energy death.
+			if cfg.Faults.NodeDown != nil && cfg.Faults.NodeDown(phys, round) {
+				nd.Stats.CrashedSlots++
+				chain.SetAlive(li, false)
+				continue
+			}
 			// A node whose RTC died no longer knows the slot schedule: it
 			// must first resynchronise (cheap with the wake-up-radio
 			// extension, a costly blind listen without).
@@ -220,6 +300,9 @@ func Run(cfg Config) (Result, error) {
 				awake[li] = nd
 				queued[li]++
 				chain.SetAlive(li, true)
+				if cfg.Faults.SensorStuck != nil && cfg.Faults.SensorStuck(phys, round) {
+					nd.Stats.StuckSamples++
+				}
 			} else {
 				chain.SetAlive(li, false)
 			}
@@ -238,7 +321,7 @@ func Run(cfg Config) (Result, error) {
 			}
 			cost := nd.TxRawCost()
 			if nd.Stored() >= cost.Energy && nd.Transmit(cost) {
-				if deliver(chain, li, link, rng, &res) {
+				if deliver(chain, li, link, rng, &res, rawPacket) {
 					res.CloudProcessed++
 				}
 				queued[li]--
@@ -268,7 +351,14 @@ func Run(cfg Config) (Result, error) {
 			}
 		}
 		maxTicks := int(cfg.Slot / units.Millisecond)
-		plan := balancer.Plan(loads, maxTicks, cfg.LBInterruption, rng)
+		interruption := cfg.LBInterruption
+		if cfg.Faults.AbortBalance != nil && cfg.Faults.AbortBalance(round) {
+			interruption = 1
+		}
+		plan := balancer.Plan(loads, maxTicks, interruption, rng)
+		if err := validatePlan(plan, loads); err != nil {
+			return res, fmt.Errorf("sim: round %d: %w", round, err)
+		}
 
 		// Charge the task movements: the sender transmits a raw packet to
 		// the receiver, the receiver pays RX. A sender that cannot afford
@@ -283,17 +373,21 @@ func Run(cfg Config) (Result, error) {
 			unaffordable, lost := 0, 0
 			for c := 0; c < mv.Count; c++ {
 				cost := src.TxRawCost()
-				if src.Stored() < cost.Energy {
+				if src.RFFailed() || src.Stored() < cost.Energy {
+					// A sender whose radio never came up keeps the task,
+					// like one that cannot afford the transfer.
 					unaffordable++
 					continue
 				}
 				if !src.Transmit(cost) || !link.Deliver(rng) {
 					res.LostInFlight++
+					res.LostRaw++
 					lost++
 					continue
 				}
 				if !dst.Receive(src.Cfg.PacketBytes) {
 					res.LostInFlight++
+					res.LostRaw++
 					lost++
 					continue
 				}
@@ -319,21 +413,26 @@ func Run(cfg Config) (Result, error) {
 					res.FogProcessed++
 					queued[li]--
 					if nd.Transmit(nd.TxResultCost()) {
-						deliver(chain, li, cfg.Link, rng, &res)
+						deliver(chain, li, link, rng, &res, resultPacket)
 					}
 				}
 			}
+			executed := 0
 			for k := 0; k < plan.Exec[li]; k++ {
 				if !nd.ProcessFog() {
 					break
 				}
+				executed++
 				// Processing happened in the fog regardless of whether the
 				// small result packet survives its radio trip.
 				res.FogProcessed++
 				if nd.Transmit(nd.TxResultCost()) {
-					deliver(chain, li, cfg.Link, rng, &res)
+					deliver(chain, li, link, rng, &res, resultPacket)
 				}
 			}
+			// Tasks booked for execution that the node browned out of are
+			// lost to energy shortage (the assignee cannot hand them back).
+			res.Unexecuted += plan.Exec[li] - executed
 			leftover := plan.Leftover[li]
 
 			if !nd.FogFeasible() {
@@ -345,7 +444,7 @@ func Run(cfg Config) (Result, error) {
 					if nd.Stored() < cost.Energy || !nd.Transmit(cost) {
 						break
 					}
-					if deliver(chain, li, link, rng, &res) {
+					if deliver(chain, li, link, rng, &res, rawPacket) {
 						res.CloudProcessed++
 					}
 					leftover--
@@ -402,10 +501,59 @@ func Run(cfg Config) (Result, error) {
 		nd.Stats.Overflow = nd.Bank.Main.Overflowed()
 		res.Wakeups += nd.Stats.Wakeups
 		res.WakeFailures += nd.Stats.WakeFailures
+		res.Samples += nd.Stats.Samples
+		res.CrashedSlots += nd.Stats.CrashedSlots
+		res.StuckSamples += nd.Stats.StuckSamples
 		res.PerNode = append(res.PerNode, nd.Stats)
+	}
+	for _, q := range queued {
+		res.QueuedEnd += q
 	}
 	res.Rejoins = chain.Rejoins
 	return res, nil
+}
+
+// validatePlan checks that a balancing plan — possibly produced under an
+// injected mid-balancing abort — cannot corrupt the task assignment: the
+// per-slot vectors are well-formed, no task was invented or silently
+// destroyed, dead nodes execute nothing, and every move references live
+// endpoints. A violation aborts the run loudly instead of skewing results.
+func validatePlan(p sched.Plan, loads []sched.NodeLoad) error {
+	if len(p.Exec) != len(loads) || len(p.Leftover) != len(loads) {
+		return fmt.Errorf("plan shape %d/%d does not match %d nodes",
+			len(p.Exec), len(p.Leftover), len(loads))
+	}
+	var tasks, placed int
+	for i, ld := range loads {
+		if p.Exec[i] < 0 || p.Leftover[i] < 0 {
+			return fmt.Errorf("plan has negative entries at node %d (exec %d, leftover %d)",
+				i, p.Exec[i], p.Leftover[i])
+		}
+		if !ld.Alive && p.Exec[i] != 0 {
+			return fmt.Errorf("plan assigns %d tasks to dead node %d", p.Exec[i], i)
+		}
+		if ld.Alive && p.Exec[i] > ld.Capacity {
+			return fmt.Errorf("plan overloads node %d: %d tasks over capacity %d",
+				i, p.Exec[i], ld.Capacity)
+		}
+		tasks += ld.Tasks
+		placed += p.Exec[i] + p.Leftover[i]
+	}
+	if tasks != placed {
+		return fmt.Errorf("plan conjured tasks: %d in, %d placed", tasks, placed)
+	}
+	for _, mv := range p.Moves {
+		if mv.From < 0 || mv.From >= len(loads) || mv.To < 0 || mv.To >= len(loads) {
+			return fmt.Errorf("move %d→%d out of range", mv.From, mv.To)
+		}
+		if mv.Count <= 0 {
+			return fmt.Errorf("move %d→%d has non-positive count %d", mv.From, mv.To, mv.Count)
+		}
+		if !loads[mv.To].Alive {
+			return fmt.Errorf("move %d→%d targets a dead node", mv.From, mv.To)
+		}
+	}
+	return nil
 }
 
 // activationThreshold gates waking at an RTC slot: a node wakes whenever
@@ -419,13 +567,27 @@ func activationThreshold(nd *node.Node) units.Energy {
 // volatileNode reports whether the node loses its backlog at power-down.
 func volatileNode(nd *node.Node) bool { return nd.Cfg.Kind == node.NOSVP }
 
+// packetKind tags what a lost transmission carried: raw sampled data (the
+// packet itself is gone) or a fog result (the processing already counted).
+type packetKind int
+
+const (
+	rawPacket packetKind = iota
+	resultPacket
+)
+
 // deliver mimics the paper's virtual-buffer transmission: per-packet
 // delivery with the measured success rate, with dead relays triggering
 // orphan-scan rejoins through the chain model.
-func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result) bool {
+func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result, kind packetKind) bool {
 	_, ok := chain.Deliver(li, link, rng)
 	if !ok {
 		res.LostInFlight++
+		if kind == rawPacket {
+			res.LostRaw++
+		} else {
+			res.LostResults++
+		}
 	}
 	return ok
 }

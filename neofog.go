@@ -22,6 +22,7 @@
 package neofog
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"math/rand"
@@ -256,23 +257,23 @@ type FleetResult struct {
 // SimulateFleet runs `chains` independent chain deployments of the given
 // shape concurrently (the paper's simulator runs thousands of node models
 // at a time, §4). Chain i uses seed cfg.Seed+i, so the fleet is
-// reproducible and each chain sees distinct traces.
+// reproducible and each chain sees distinct traces. A Journal is
+// supported: each chain writes into a private buffer during the run and
+// the buffers are flushed to the configured writer in chain order, so the
+// journal reads exactly as if the chains had run serially.
 func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 	if chains < 1 {
 		return FleetResult{}, fmt.Errorf("neofog: fleet needs ≥1 chain, got %d", chains)
 	}
-	if cfg.Journal != nil {
-		return FleetResult{}, fmt.Errorf("neofog: journals are not supported in fleet runs")
-	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	// Build per-chain sim configs through the same path as Simulate by
-	// running them concurrently at the internal layer would duplicate the
-	// assembly logic; instead run Simulate per chain in parallel — each
-	// call is already deterministic and independent.
+	// Run Simulate per chain in parallel rather than duplicating its
+	// assembly logic at the internal layer — each call is already
+	// deterministic and independent.
 	results := make([]SimulationResult, chains)
 	errs := make([]error, chains)
+	journals := make([]*bytes.Buffer, chains)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < chains; i++ {
@@ -283,15 +284,29 @@ func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 			defer func() { <-sem }()
 			c := cfg
 			c.Seed = cfg.Seed + int64(i)
+			if cfg.Journal != nil {
+				journals[i] = &bytes.Buffer{}
+				c.Journal = journals[i]
+			}
 			results[i], errs[i] = Simulate(c)
 		}(i)
 	}
 	wg.Wait()
-	out := FleetResult{PerChain: results}
 	for i, err := range errs {
 		if err != nil {
 			return FleetResult{}, fmt.Errorf("neofog: chain %d: %w", i, err)
 		}
+	}
+	for i, buf := range journals {
+		if buf == nil {
+			continue
+		}
+		if _, err := cfg.Journal.Write(buf.Bytes()); err != nil {
+			return FleetResult{}, fmt.Errorf("neofog: chain %d: flushing journal: %w", i, err)
+		}
+	}
+	out := FleetResult{PerChain: results}
+	for i := range results {
 		r := results[i]
 		a := &out.Aggregate
 		a.Nodes += r.Nodes
@@ -437,6 +452,13 @@ var experimentRunners = map[string]func(opts experiments.Options) (*metrics.Tabl
 			return nil, err
 		}
 		return h.Table, nil
+	},
+	"chaos": func(o experiments.Options) (*metrics.Table, error) {
+		c, err := experiments.Chaos(o)
+		if err != nil {
+			return nil, err
+		}
+		return c.Table, nil
 	},
 }
 

@@ -90,10 +90,10 @@ func TestSimulateValidation(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 14 {
-		t.Fatalf("experiments = %d, want 14: %v", len(ids), ids)
+	if len(ids) != 15 {
+		t.Fatalf("experiments = %d, want 15: %v", len(ids), ids)
 	}
-	for _, want := range []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "wispcam", "camera"} {
+	for _, want := range []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "wispcam", "camera", "chaos"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
@@ -169,8 +169,32 @@ func TestSimulateJournal(t *testing.T) {
 	if !json.Valid(buf.Bytes()[:bytes.IndexByte(buf.Bytes(), '\n')]) {
 		t.Fatal("journal line is not valid JSON")
 	}
-	// Journals are rejected in fleet runs (writers would interleave).
-	if _, err := SimulateFleet(SimulationConfig{Journal: &buf}, 2); err == nil {
-		t.Fatal("fleet with journal should error")
+}
+
+// A fleet journal must read exactly as if the chains had run serially
+// against the shared writer, even though they execute concurrently.
+func TestSimulateFleetJournalOrdering(t *testing.T) {
+	const chains = 3
+	cfg := SimulationConfig{Nodes: 4, Rounds: 30, Seed: 6}
+
+	var shared bytes.Buffer
+	fleetCfg := cfg
+	fleetCfg.Journal = &shared
+	if _, err := SimulateFleet(fleetCfg, chains); err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	for i := 0; i < chains; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		c.Journal = &want
+		if _, err := Simulate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(shared.Bytes(), want.Bytes()) {
+		t.Fatalf("fleet journal differs from serial order (%d vs %d bytes)",
+			shared.Len(), want.Len())
 	}
 }
