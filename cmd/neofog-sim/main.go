@@ -13,10 +13,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"neofog"
 )
+
+// parseIntensities turns a comma-separated list like "0,0.5,1" into the
+// fault-intensity sweep for the chaos and resilience campaigns.
+func parseIntensities(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-intensities entry %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -36,11 +55,24 @@ func main() {
 		chains  = flag.Int("chains", 1, "run this many independent chains concurrently and aggregate")
 		journal = flag.String("journal", "", "write a per-round JSONL journal to this file (custom runs)")
 		csvPath = flag.String("csv", "", "write experiment output as CSV to this file instead of text")
+		recover = flag.Bool("recover", false, "enable the self-healing layer (ARQ, clone failover, abort-safe balancing) in custom runs")
+		fseed   = flag.Int64("fault-seed", 0, "fault-plan seed for -exp chaos/resilience (0 = same as -seed)")
+		fints   = flag.String("fault-intensities", "", "comma-separated fault intensity sweep for -exp chaos/resilience, e.g. 0,0.5,1 (must start at 0, non-decreasing)")
 	)
 	flag.Parse()
 
+	intensities, err := parseIntensities(*fints)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+		os.Exit(1)
+	}
+
 	if *list {
 		fmt.Println("experiments:", strings.Join(neofog.ExperimentIDs(), " "))
+		fmt.Println("  chaos       graceful degradation across a fault-intensity sweep")
+		fmt.Println("              (tune with -fault-seed and -fault-intensities)")
+		fmt.Println("  resilience  A/B of the self-healing layer (recovery off vs on) over")
+		fmt.Println("              the same sweep; same -fault-seed/-fault-intensities flags")
 		return
 	}
 
@@ -49,7 +81,10 @@ func main() {
 		if *exp == "all" {
 			ids = neofog.ExperimentIDs()
 		}
-		opts := neofog.ExperimentOptions{Seed: *seed, Nodes: *nodes, Rounds: *rounds}
+		opts := neofog.ExperimentOptions{
+			Seed: *seed, Nodes: *nodes, Rounds: *rounds,
+			FaultSeed: *fseed, FaultIntensities: intensities,
+		}
 		if *csvPath != "" {
 			if len(ids) != 1 {
 				fmt.Fprintln(os.Stderr, "neofog-sim: -csv needs exactly one experiment")
@@ -90,6 +125,7 @@ func main() {
 		Correlated:          *corr,
 		Multiplexing:        *mux,
 		Resumable:           *resume,
+		Recovery:            *recover,
 		Seed:                *seed,
 	}
 	if *journal != "" {
@@ -102,7 +138,6 @@ func main() {
 		cfg.Journal = f
 	}
 	var res neofog.SimulationResult
-	var err error
 	if *chains > 1 {
 		var fleet neofog.FleetResult
 		fleet, err = neofog.SimulateFleet(cfg, *chains)
@@ -125,4 +160,9 @@ func main() {
 	fmt.Printf("dropped:         %d\n", res.Dropped)
 	fmt.Printf("LB delegations:  %d\n", res.Moves)
 	fmt.Printf("orphan rejoins:  %d\n", res.Rejoins)
+	if *recover {
+		fmt.Printf("retransmits:     %d\n", res.Retransmits)
+		fmt.Printf("failover wakes:  %d\n", res.FailoverSlots)
+		fmt.Printf("balance retries: %d\n", res.BalanceRetries)
+	}
 }

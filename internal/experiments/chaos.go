@@ -28,8 +28,9 @@ func Chaos(opts Options) (*ChaosResult, error) {
 	opts = opts.withDefaults()
 	traces := forestProfile(1, opts.Nodes, opts.Seed)
 	campaign := faults.Campaign{
-		Base: systemConfig(node.FIOSNVMote, sched.Distributed{}, traces, opts),
-		Seed: opts.Seed,
+		Base:        systemConfig(node.FIOSNVMote, sched.Distributed{}, traces, opts),
+		Seed:        opts.FaultSeed,
+		Intensities: opts.FaultIntensities,
 	}
 	rep, err := campaign.Run()
 	if err != nil {

@@ -28,6 +28,14 @@ type Options struct {
 	Nodes int
 	// Rounds is the number of RTC slots (default 1500 = 5 h at 12 s).
 	Rounds int
+	// FaultSeed drives fault-plan generation for the chaos and resilience
+	// campaigns, independently of Seed so the same deployment can face
+	// different adversity schedules (default: Seed).
+	FaultSeed int64
+	// FaultIntensities overrides the campaigns' intensity sweep (must be
+	// non-decreasing in [0, 1] and start at 0; default {0, 0.25, 0.5,
+	// 0.75, 1}).
+	FaultIntensities []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -39,6 +47,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.FaultSeed == 0 {
+		o.FaultSeed = o.Seed
 	}
 	return o
 }

@@ -60,3 +60,11 @@ func TestGoldenChaos(t *testing.T) {
 	}
 	checkGolden(t, "chaos", c.Table)
 }
+
+func TestGoldenResilience(t *testing.T) {
+	r, err := Resilience(goldenOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "resilience", r.Table)
+}

@@ -1,0 +1,232 @@
+package faults
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"neofog/internal/metrics"
+	"neofog/internal/sim"
+)
+
+// ResilienceCampaign A/B-tests the self-healing protocol layer under the
+// chaos sweep: every intensity runs twice from the same base configuration
+// and fault plan — once with recovery disabled (the off arm) and once with
+// it enabled (the on arm) — and the campaign asserts that recovery weakly
+// dominates at every intensity and strictly improves somewhere. The on arm
+// only switches recovery on when the generated plan actually injects
+// events, so the zero-intensity anchor is the literal same run in both
+// arms and must come out bit-identical.
+type ResilienceCampaign struct {
+	// Base is the shared configuration. The campaign owns its Faults,
+	// Journal, and Recovery fields; all three must be zero.
+	Base sim.Config
+	// Recovery carries the on arm's tunables; Enabled is set by the
+	// campaign per intensity (only when the plan is non-empty).
+	Recovery sim.RecoveryConfig
+	// Intensities are the sweep points, non-decreasing in [0, 1] and
+	// starting at 0. Default {0, 0.25, 0.5, 0.75, 1}.
+	Intensities []float64
+	// Gen shapes plan generation; Nodes and Rounds are filled in from
+	// Base when zero.
+	Gen GenConfig
+	// Seed drives plan generation (independent of Base.Seed).
+	Seed int64
+	// Tolerance is the relative slack the weak-dominance check allows the
+	// on arm to fall short by (default 0.02, absolute floor 3 packets, the
+	// same slack the chaos campaign's monotonicity check uses): the
+	// recovery path perturbs the run's RNG stream, so a faulted pair can
+	// jitter by a little even when recovery systematically wins. The
+	// strict-improvement invariant and the golden table carry the positive
+	// claim with no slack at all.
+	Tolerance float64
+}
+
+// ArmPoint is one intensity's paired outcome.
+type ArmPoint struct {
+	Intensity float64
+	// Events is the number of fault events both arms faced.
+	Events int
+	// Off is the run with recovery disabled; On with it enabled.
+	Off, On sim.Result
+}
+
+// ResilienceReport is a completed A/B campaign.
+type ResilienceReport struct {
+	Points []ArmPoint
+	// Table is the per-intensity A/B report.
+	Table *metrics.Table
+}
+
+func (c ResilienceCampaign) withDefaults() (ResilienceCampaign, error) {
+	if len(c.Intensities) == 0 {
+		c.Intensities = []float64{0, 0.25, 0.5, 0.75, 1}
+	}
+	if c.Intensities[0] != 0 {
+		return c, fmt.Errorf("faults: resilience campaign needs a zero-intensity anchor first, got %v", c.Intensities[0])
+	}
+	for i, x := range c.Intensities {
+		if x < 0 || x > 1 {
+			return c, fmt.Errorf("faults: intensity %v outside [0, 1]", x)
+		}
+		if i > 0 && x < c.Intensities[i-1] {
+			return c, fmt.Errorf("faults: intensities must be non-decreasing, got %v after %v", x, c.Intensities[i-1])
+		}
+	}
+	if c.Tolerance == 0 {
+		c.Tolerance = 0.02
+	}
+	if c.Base.Journal != nil {
+		return c, fmt.Errorf("faults: resilience campaign owns the journal; Base.Journal must be nil")
+	}
+	if c.Base.Recovery != (sim.RecoveryConfig{}) {
+		return c, fmt.Errorf("faults: resilience campaign owns the recovery switch; Base.Recovery must be zero")
+	}
+	f := c.Base.Faults
+	if f.NodeDown != nil || f.Blackout != nil || f.RFFailed != nil ||
+		f.SensorStuck != nil || f.Link != nil || f.AbortBalance != nil {
+		return c, fmt.Errorf("faults: resilience campaign owns the fault hooks; Base.Faults must be empty")
+	}
+	if len(c.Base.Traces) == 0 || c.Base.Slot <= 0 {
+		return c, fmt.Errorf("faults: resilience campaign base config needs traces and a slot")
+	}
+	if c.Gen.Nodes == 0 {
+		c.Gen.Nodes = len(c.Base.Traces)
+	}
+	if c.Gen.Rounds == 0 {
+		rounds := c.Base.Rounds
+		if maxRounds := int(c.Base.Traces[0].Duration() / c.Base.Slot); rounds == 0 || rounds > maxRounds {
+			rounds = maxRounds
+		}
+		c.Gen.Rounds = rounds
+	}
+	c.Gen = c.Gen.withDefaults()
+	return c, nil
+}
+
+// Run executes the paired sweep and checks the A/B invariants, returning
+// an error naming the first violated one.
+func (c ResilienceCampaign) Run() (*ResilienceReport, error) {
+	c, err := c.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ResilienceReport{}
+	strict := false
+	for _, intensity := range c.Intensities {
+		plan, err := Generate(c.Seed, intensity, c.Gen)
+		if err != nil {
+			return nil, err
+		}
+
+		offCfg, onCfg := c.Base, c.Base
+		plan.Apply(&offCfg)
+		plan.Apply(&onCfg)
+		onCfg.Recovery = c.Recovery
+		// Recovery only arms against actual adversity: with an empty plan
+		// the on arm is the identical control run, which anchors the A/B.
+		onCfg.Recovery.Enabled = len(plan.Events) > 0
+
+		// The two arms are independent simulations; running them
+		// concurrently halves the sweep and puts the recovery path under
+		// the race detector whenever the campaign runs with -race.
+		var off, on sim.Result
+		var offErr, onErr error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); off, offErr = sim.Run(offCfg) }()
+		go func() { defer wg.Done(); on, onErr = sim.Run(onCfg) }()
+		wg.Wait()
+		if offErr != nil {
+			return nil, fmt.Errorf("faults: intensity %v (recovery off): %w", intensity, offErr)
+		}
+		if onErr != nil {
+			return nil, fmt.Errorf("faults: intensity %v (recovery on): %w", intensity, onErr)
+		}
+
+		// Invariant: conservation holds exactly in both arms.
+		for _, arm := range []struct {
+			name string
+			r    sim.Result
+		}{{"off", off}, {"on", on}} {
+			if !arm.r.Conserved() {
+				return nil, fmt.Errorf("faults: intensity %v (recovery %s) breaks conservation: %d samples vs %d fog + %d cloud + %d dropped + %d lost + %d unexecuted + %d queued",
+					intensity, arm.name, arm.r.Samples, arm.r.FogProcessed, arm.r.CloudProcessed,
+					arm.r.Dropped, arm.r.LostRaw, arm.r.Unexecuted, arm.r.QueuedEnd)
+			}
+		}
+		// Invariant: the off arm must never exercise the recovery path.
+		if off.Retransmits != 0 || off.FailoverSlots != 0 || off.BalanceRetries != 0 {
+			return nil, fmt.Errorf("faults: intensity %v: recovery counters active in the off arm: %d retransmits, %d failovers, %d balance retries",
+				intensity, off.Retransmits, off.FailoverSlots, off.BalanceRetries)
+		}
+		// Invariant: with no events the arms are the same run, bit for bit.
+		if len(plan.Events) == 0 && !reflect.DeepEqual(off, on) {
+			return nil, fmt.Errorf("faults: intensity %v: zero-event arms diverged:\noff: %+v\non:  %+v", intensity, off, on)
+		}
+		// Invariant: recovery weakly dominates on delivered packets and on
+		// fog tasks at every intensity (modulo RNG-jitter slack).
+		slack := func(off int) float64 {
+			s := c.Tolerance * float64(off)
+			if s < 3 {
+				s = 3
+			}
+			return s
+		}
+		if float64(on.TotalProcessed()) < float64(off.TotalProcessed())-slack(off.TotalProcessed()) {
+			return nil, fmt.Errorf("faults: intensity %v: recovery lost packets: %d on vs %d off",
+				intensity, on.TotalProcessed(), off.TotalProcessed())
+		}
+		if float64(on.FogProcessed) < float64(off.FogProcessed)-slack(off.FogProcessed) {
+			return nil, fmt.Errorf("faults: intensity %v: recovery lost fog tasks: %d on vs %d off",
+				intensity, on.FogProcessed, off.FogProcessed)
+		}
+		if intensity > 0 && on.TotalProcessed() > off.TotalProcessed() {
+			strict = true
+		}
+		rep.Points = append(rep.Points, ArmPoint{Intensity: intensity, Events: len(plan.Events), Off: off, On: on})
+	}
+
+	// Invariant: somewhere in the sweep recovery must actually help, or
+	// the whole layer is dead weight. A sweep whose plans never injected
+	// anything has no adversity to recover from, which is its own error.
+	events := 0
+	for _, pt := range rep.Points {
+		events += pt.Events
+	}
+	if events == 0 {
+		return nil, fmt.Errorf("faults: sweep injected no fault events; nothing for recovery to prove")
+	}
+	if !strict {
+		return nil, fmt.Errorf("faults: recovery never strictly improved delivery at any nonzero intensity")
+	}
+
+	rep.Table = c.table(rep)
+	return rep, nil
+}
+
+// table renders the paired sweep as the resilience A/B report.
+func (c ResilienceCampaign) table(rep *ResilienceReport) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Resilience A/B: %d nodes, %d rounds, fault seed %d (off = no recovery, on = ARQ + failover + lease)",
+			c.Gen.Nodes, c.Gen.Rounds, c.Seed),
+		"Intensity", "Events", "OffFog", "OffCloud", "OffTotal", "OnFog", "OnCloud",
+		"OnTotal", "DeltaTotal", "Retransmits", "Failovers", "BalRetries",
+		"OffOrphans", "OnOrphans",
+	)
+	for _, pt := range rep.Points {
+		t.AddRow(
+			metrics.Ftoa(pt.Intensity, 2), metrics.Itoa(pt.Events),
+			metrics.Itoa(pt.Off.FogProcessed), metrics.Itoa(pt.Off.CloudProcessed),
+			metrics.Itoa(pt.Off.TotalProcessed()),
+			metrics.Itoa(pt.On.FogProcessed), metrics.Itoa(pt.On.CloudProcessed),
+			metrics.Itoa(pt.On.TotalProcessed()),
+			metrics.Itoa(pt.On.TotalProcessed()-pt.Off.TotalProcessed()),
+			metrics.Itoa(pt.On.Retransmits), metrics.Itoa(pt.On.FailoverSlots),
+			metrics.Itoa(pt.On.BalanceRetries),
+			metrics.Itoa(pt.Off.OrphanLost), metrics.Itoa(pt.On.OrphanLost),
+		)
+	}
+	return t
+}

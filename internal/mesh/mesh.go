@@ -239,29 +239,122 @@ func (c *Chain) RouteToSink(i int) []int {
 // an independent LinkModel trial, and only alive relays forward. It reports
 // the number of transmissions attempted and whether the packet arrived.
 func (c *Chain) Deliver(i int, link LinkModel, rng *rand.Rand) (hops int, ok bool) {
+	d := c.DeliverDetail(i, link, rng, DeliverOpts{})
+	return d.Hops, d.OK
+}
+
+// DeliverOpts tunes one DeliverDetail relay attempt. The zero value is the
+// original fire-and-forget behaviour: one trial per hop, packets lost at
+// the first link failure or dead relay.
+type DeliverOpts struct {
+	// Retries is the packet's total retransmission budget across all hops
+	// (the link-layer ARQ of the recovery layer): a hop whose transmission
+	// goes unacknowledged resends instead of dropping, while budget lasts.
+	Retries int
+	// PayRetry, when non-nil, is consulted before every retransmission with
+	// the retrying hop (chain index) and the packet's 1-based retry
+	// ordinal. Returning false refuses the retry — the hop cannot afford
+	// the resend — and the packet is lost. This is where the simulator
+	// charges the rf timing/energy model, so recovery is never free.
+	PayRetry func(hop, attempt int) bool
+	// RepairRoute extends the orphan scan into full route repair: after
+	// re-associating around a dead relay, the holding hop retransmits to
+	// its new next hop (consuming one retry) instead of losing the packet.
+	RepairRoute bool
+}
+
+// Delivery is one relay attempt's outcome.
+type Delivery struct {
+	// Hops counts transmissions attempted, retransmissions included.
+	Hops int
+	// Retransmits counts the ARQ resends the packet consumed.
+	Retransmits int
+	// Orphaned reports that the packet died at a dead relay (the
+	// orphan-scan re-association ate the in-flight packet). Always false
+	// when OK.
+	Orphaned bool
+	// OK reports arrival at the sink.
+	OK bool
+}
+
+// DeliverDetail is Deliver with per-hop ARQ and route repair (see
+// DeliverOpts) and a full outcome report. With zero opts it performs
+// exactly Deliver's trials in the same order.
+func (c *Chain) DeliverDetail(i int, link LinkModel, rng *rand.Rand, opts DeliverOpts) Delivery {
+	var d Delivery
 	if !c.alive[i] {
-		return 0, false
+		return d
 	}
 	cur := i
+	budget := opts.Retries
 	for {
 		next := c.nextHop[cur]
-		hops++
-		if !link.Deliver(rng) {
-			return hops, false
+		sent := false
+		for {
+			d.Hops++
+			if link.Deliver(rng) {
+				sent = true
+				break
+			}
+			// No acknowledgement: retransmit while the budget lasts and
+			// the hop can pay for the resend, backoff included.
+			if budget <= 0 {
+				break
+			}
+			if opts.PayRetry != nil && !opts.PayRetry(cur, d.Retransmits+1) {
+				break
+			}
+			budget--
+			d.Retransmits++
+		}
+		if !sent {
+			return d
 		}
 		if next == -1 {
-			return hops, true
+			d.OK = true
+			return d
 		}
 		if !c.alive[next] {
 			// Orphan scan: cur broadcasts, the next alive node toward the
 			// sink confirms, and cur's AssociatedDevList skips the dead
-			// relay. The in-flight packet is lost this period.
+			// span. Without route repair the in-flight packet is lost this
+			// period; with it, cur resends to the repaired next hop.
 			c.nextHop[cur] = c.aliveBefore(cur)
 			c.Rejoins++
-			return hops, false
+			if !opts.RepairRoute || budget <= 0 ||
+				(opts.PayRetry != nil && !opts.PayRetry(cur, d.Retransmits+1)) {
+				d.Orphaned = true
+				return d
+			}
+			budget--
+			d.Retransmits++
+			continue
 		}
 		cur = next
 	}
+}
+
+// Heal performs the persistent AssociatedDevList healing of the recovery
+// layer: every alive node whose next-hop pointer has gone stale (its relay
+// died) re-associates around the whole dead span now, instead of waiting to
+// discover the corpse mid-delivery and losing the in-flight packet. Each
+// repaired pointer is one orphan-scan exchange (counted in Rejoins). It
+// returns the number of pointers repaired. Recovered nodes are re-admitted
+// by SetAlive's broadcast path as before; Heal is its proactive complement
+// for deaths.
+func (c *Chain) Heal() int {
+	repaired := 0
+	for i := 0; i < c.n; i++ {
+		if !c.alive[i] {
+			continue
+		}
+		if next := c.nextHop[i]; next != -1 && !c.alive[next] {
+			c.nextHop[i] = c.aliveBefore(i)
+			c.Rejoins++
+			repaired++
+		}
+	}
+	return repaired
 }
 
 // AliveNeighbors returns the nearest alive chain neighbours of node i on

@@ -255,3 +255,157 @@ func TestWeatherLink(t *testing.T) {
 		t.Fatal("inside the window should be rain")
 	}
 }
+
+// ARQ: with a retry budget, a transiently lossy hop delivers on the
+// resend instead of dropping, and the retransmission is accounted.
+func TestDeliverDetailARQRecovers(t *testing.T) {
+	c := NewChain(3)
+	// A 50% link loses plenty of first trials; ARQ with a generous budget
+	// should deliver essentially everything.
+	link := LinkModel{SuccessRate: 0.5}
+	rng := rand.New(rand.NewSource(7))
+	delivered, retx := 0, 0
+	for i := 0; i < 500; i++ {
+		d := c.DeliverDetail(2, link, rng, DeliverOpts{Retries: 10})
+		if d.OK {
+			delivered++
+		}
+		retx += d.Retransmits
+	}
+	if delivered < 490 {
+		t.Fatalf("ARQ delivered %d/500 on a 50%% link with budget 10", delivered)
+	}
+	if retx == 0 {
+		t.Fatal("ARQ delivered everything without a single retransmission")
+	}
+}
+
+// A refused retry (the hop cannot afford it) loses the packet exactly as
+// an exhausted budget does, and PayRetry sees 1-based ordinals.
+func TestDeliverDetailPayRetryRefusal(t *testing.T) {
+	c := NewChain(2)
+	link := LinkModel{SuccessRate: 0} // every trial fails
+	rng := rand.New(rand.NewSource(1))
+	var ordinals []int
+	d := c.DeliverDetail(1, link, rng, DeliverOpts{
+		Retries: 5,
+		PayRetry: func(hop, attempt int) bool {
+			if hop != 1 {
+				t.Fatalf("retrying hop = %d, want 1", hop)
+			}
+			ordinals = append(ordinals, attempt)
+			return attempt < 3 // afford two retries, refuse the third
+		},
+	})
+	if d.OK || d.Retransmits != 2 || d.Hops != 3 {
+		t.Fatalf("refused retry: %+v, want lost after 2 retransmits / 3 hops", d)
+	}
+	if len(ordinals) != 3 || ordinals[0] != 1 || ordinals[2] != 3 {
+		t.Fatalf("PayRetry ordinals = %v, want [1 2 3]", ordinals)
+	}
+}
+
+// Route repair: a packet that hits a dead relay is resent around the whole
+// dead span instead of being lost, consuming one retry.
+func TestDeliverDetailRouteRepair(t *testing.T) {
+	c := NewChain(5)
+	c.SetAlive(3, false)
+	c.SetAlive(2, false) // multi-node dead span between 4 and 1
+	link := LinkModel{SuccessRate: 1}
+	rng := rand.New(rand.NewSource(1))
+
+	// Without repair the stale pointer eats the packet.
+	d := c.DeliverDetail(4, link, rng, DeliverOpts{})
+	if d.OK || !d.Orphaned {
+		t.Fatalf("no-repair delivery = %+v, want orphaned loss", d)
+	}
+
+	// Reset the chain (pointers were repaired by the orphan scan above).
+	c = NewChain(5)
+	c.SetAlive(3, false)
+	c.SetAlive(2, false)
+	d = c.DeliverDetail(4, link, rng, DeliverOpts{Retries: 2, RepairRoute: true})
+	if !d.OK || d.Retransmits != 1 || d.Orphaned {
+		t.Fatalf("repair delivery = %+v, want delivered with 1 retransmit", d)
+	}
+	if c.NextHop(4) != 1 {
+		t.Fatalf("NextHop(4) = %d after repair, want 1 (around the dead span)", c.NextHop(4))
+	}
+}
+
+// Heal repairs every stale pointer proactively so no later delivery hits a
+// corpse, and re-admitted nodes are re-adopted by SetAlive as before.
+func TestChainHeal(t *testing.T) {
+	c := NewChain(6)
+	c.SetAlive(2, false)
+	c.SetAlive(3, false)
+	if n := c.Heal(); n != 1 {
+		t.Fatalf("Heal repaired %d pointers, want 1 (node 4's)", n)
+	}
+	if c.NextHop(4) != 1 {
+		t.Fatalf("NextHop(4) = %d after heal, want 1", c.NextHop(4))
+	}
+	if n := c.Heal(); n != 0 {
+		t.Fatalf("second Heal repaired %d pointers, want 0", n)
+	}
+	// Delivery over the healed chain never orphans.
+	rng := rand.New(rand.NewSource(3))
+	d := c.DeliverDetail(5, LinkModel{SuccessRate: 1}, rng, DeliverOpts{})
+	if !d.OK || d.Orphaned {
+		t.Fatalf("healed delivery = %+v, want clean arrival", d)
+	}
+	// Recovery re-admission still works.
+	c.SetAlive(3, true)
+	if c.NextHop(4) != 3 {
+		t.Fatalf("NextHop(4) = %d after re-admission, want 3", c.NextHop(4))
+	}
+}
+
+// Zero-valued DeliverOpts reproduces Deliver's trials bit-for-bit.
+func TestDeliverDetailZeroOptsMatchesDeliver(t *testing.T) {
+	prop := func(seed int64) bool {
+		a := NewChain(6)
+		b := NewChain(6)
+		for _, dead := range []int{2, 4} {
+			a.SetAlive(dead, false)
+			b.SetAlive(dead, false)
+		}
+		link := LinkModel{SuccessRate: 0.8}
+		rngA := rand.New(rand.NewSource(seed))
+		rngB := rand.New(rand.NewSource(seed))
+		for i := 0; i < 40; i++ {
+			hops, ok := a.Deliver(5, link, rngA)
+			d := b.DeliverDetail(5, link, rngB, DeliverOpts{})
+			if hops != d.Hops || ok != d.OK {
+				return false
+			}
+		}
+		return a.Rejoins == b.Rejoins
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The retry schedule is doubly bounded and exponential.
+func TestRetrySchedule(t *testing.T) {
+	s := NewRetrySchedule(10, 4, 1000)
+	if s.Len() != 4 || s.Wait(1) != 10 || s.Wait(2) != 20 || s.Wait(4) != 80 {
+		t.Fatalf("schedule = %d waits, %v %v ... %v", s.Len(), s.Wait(1), s.Wait(2), s.Wait(s.Len()))
+	}
+	if s.Total() != 150 {
+		t.Fatalf("Total = %v, want 150", s.Total())
+	}
+	// The hold bound truncates: 10+20+40 = 70 fits a 75-tick hold, 80 not.
+	if s := NewRetrySchedule(10, 10, 75); s.Len() != 3 || s.Total() != 70 {
+		t.Fatalf("held schedule = %d waits / %v total, want 3 / 70", s.Len(), s.Total())
+	}
+	// Zero base: immediate retransmits up to the budget.
+	if s := NewRetrySchedule(0, 3, 0); s.Len() != 3 || s.Total() != 0 {
+		t.Fatalf("free schedule = %d waits / %v total, want 3 / 0", s.Len(), s.Total())
+	}
+	// Negative hold forbids retries.
+	if s := NewRetrySchedule(10, 3, -1); s.Len() != 0 {
+		t.Fatalf("negative hold allowed %d retries", s.Len())
+	}
+}

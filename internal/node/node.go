@@ -176,6 +176,8 @@ type Stats struct {
 	CrashedSlots  int // slots lost to an injected node crash
 	StuckSamples  int // samples taken while a sensor stuck-at fault was active
 	RFFailures    int // radio operations refused by an injected RF-init fault
+	Retransmits   int // ARQ resends this node paid for (recovery layer)
+	FailoverWakes int // slots this node absorbed for a dead clone (NVD4Q failover)
 	EnergySpent   units.Energy
 	// Overflow is the energy the main cap rejected while full — the waste
 	// Fig. 9 shows for unbalanced systems. It is filled in when a
@@ -473,6 +475,22 @@ func (n *Node) txCost(bytes int) rf.Cost {
 	if n.Cfg.Kind == NOSVP {
 		c = c.Add(n.SoftRF.InitCost())
 	}
+	return c
+}
+
+// ARQAckBytes is the size of the link-layer acknowledgement frame the
+// recovery layer's per-hop ARQ listens for after each transmission.
+const ARQAckBytes = 8
+
+// RetryCost prices one ARQ retransmission: the resend itself (tx, the cost
+// the caller already knows for the packet kind), the acknowledgement
+// listen, and the exponential-backoff wait at the radio's idle power. The
+// recovery layer charges this through the same rf timing/energy model as
+// every first transmission, so retries are never free.
+func (n *Node) RetryCost(tx rf.Cost, backoff units.Duration) rf.Cost {
+	c := tx.Add(n.controller().RxCost(ARQAckBytes))
+	c.Time += backoff
+	c.Energy += n.Cfg.Radio.IdlePower.Over(backoff)
 	return c
 }
 

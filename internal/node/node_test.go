@@ -296,3 +296,22 @@ func TestAdvanceFogKeepsWakeFloor(t *testing.T) {
 			n.Stored(), n.WakeCost())
 	}
 }
+
+// ARQ retransmission pricing: strictly dearer than the bare resend (ack
+// listen + backoff idle are charged), linear in the backoff window.
+func TestRetryCost(t *testing.T) {
+	n := New(DefaultConfig(FIOSNVMote, apps.BridgeHealth()))
+	tx := n.TxRawCost()
+	free := n.RetryCost(tx, 0)
+	if free.Energy <= tx.Energy || free.Time <= tx.Time {
+		t.Fatalf("RetryCost without backoff = %+v, want > bare tx %+v (ack listen)", free, tx)
+	}
+	backed := n.RetryCost(tx, 100*units.Millisecond)
+	if backed.Energy <= free.Energy || backed.Time != free.Time+100*units.Millisecond {
+		t.Fatalf("backoff not charged: %+v vs %+v", backed, free)
+	}
+	idle := n.Cfg.Radio.IdlePower.Over(100 * units.Millisecond)
+	if got := backed.Energy - free.Energy; got != idle {
+		t.Fatalf("backoff energy = %v, want idle-power %v", got, idle)
+	}
+}

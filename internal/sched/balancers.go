@@ -42,6 +42,14 @@ type Plan struct {
 	Moves []Move
 	// BalanceRuns counts how many local balancing invocations ran.
 	BalanceRuns int
+	// Interrupted counts the invocations cut short by a power failure: each
+	// leaves its own region unbalanced ("no load balance will take place at
+	// that region", §3.2) without corrupting the others.
+	Interrupted int
+	// RolledBack marks a round whose lease never committed (see Lease): the
+	// plan is the uninterrupted local-only baseline and the round will be
+	// retried at the next invocation.
+	RolledBack bool
 }
 
 // Balancer plans one period of task placement over a chain.
@@ -128,6 +136,7 @@ func (d Distributed) Plan(nodes []NodeLoad, maxTime int, interruption float64, r
 			// a power failure: no balancing happens in that region.
 			p.BalanceRuns++
 			if interruption > 0 && rng.Float64() < interruption {
+				p.Interrupted++
 				continue
 			}
 			left := nearestWithSpare(nodes, spare, i, -1)
@@ -292,7 +301,11 @@ func (BaselineTree) Plan(nodes []NodeLoad, _ int, interruption float64, rng *ran
 		}
 		mid := (lo + hi) / 2
 		p.BalanceRuns++
-		coordinatorUp := up[mid] && !(interruption > 0 && rng.Float64() < interruption)
+		coordinatorUp := up[mid]
+		if coordinatorUp && interruption > 0 && rng.Float64() < interruption {
+			coordinatorUp = false
+			p.Interrupted++
+		}
 		if !coordinatorUp {
 			up[mid] = false
 			// The halves can still balance internally, but nothing

@@ -349,3 +349,58 @@ func TestDistributedBeatsAlternatives(t *testing.T) {
 			distTotal, treeTotal, noneTotal)
 	}
 }
+
+// The lease protocol: a round certain to abort rolls back to the local
+// plan atomically (no moves, no partial application) and the next
+// invocation is counted as its retry.
+func TestLeaseRollbackAndRetry(t *testing.T) {
+	loads := []NodeLoad{
+		{Alive: true, Tasks: 6, Capacity: 1, TicksPerTask: 2},
+		{Alive: true, Tasks: 0, Capacity: 5, TicksPerTask: 2},
+		{Alive: true, Tasks: 0, Capacity: 5, TicksPerTask: 2},
+	}
+	l := &Lease{Inner: Distributed{}}
+	rng := rand.New(rand.NewSource(1))
+
+	p := l.Plan(loads, 100, 1, rng) // BalanceAbort: interruption forced to 1
+	if !p.RolledBack || len(p.Moves) != 0 {
+		t.Fatalf("aborted round: %+v, want rolled-back plan with no moves", p)
+	}
+	if p.Exec[0] != 1 || p.Leftover[0] != 5 {
+		t.Fatalf("rolled-back plan executes %d / strands %d at node 0, want 1 / 5", p.Exec[0], p.Leftover[0])
+	}
+	if l.Retries != 0 {
+		t.Fatalf("Retries = %d before the retry round, want 0", l.Retries)
+	}
+
+	p = l.Plan(loads, 100, 0, rng) // the automatic retry
+	if p.RolledBack || len(p.Moves) == 0 {
+		t.Fatalf("retry round: %+v, want committed moves", p)
+	}
+	if l.Retries != 1 {
+		t.Fatalf("Retries = %d after the retry round, want 1", l.Retries)
+	}
+	if l.Name() != "lease+neofog-distributed" {
+		t.Fatalf("Name = %q", l.Name())
+	}
+}
+
+// Partial interruptions keep per-region atomicity and are now visible on
+// the plan.
+func TestPlanCountsInterruptions(t *testing.T) {
+	loads := []NodeLoad{
+		{Alive: true, Tasks: 6, Capacity: 1, TicksPerTask: 2},
+		{Alive: true, Tasks: 6, Capacity: 1, TicksPerTask: 2},
+		{Alive: true, Tasks: 0, Capacity: 20, TicksPerTask: 2},
+	}
+	for _, bal := range []Balancer{Distributed{}, BaselineTree{}} {
+		rng := rand.New(rand.NewSource(5))
+		p := bal.Plan(loads, 100, 0.99, rng)
+		if p.Interrupted == 0 {
+			t.Fatalf("%s: near-certain interruption left Interrupted = 0 (%d runs)", bal.Name(), p.BalanceRuns)
+		}
+		if p.Interrupted > p.BalanceRuns {
+			t.Fatalf("%s: Interrupted %d exceeds BalanceRuns %d", bal.Name(), p.Interrupted, p.BalanceRuns)
+		}
+	}
+}

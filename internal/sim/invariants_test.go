@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"neofog/internal/node"
 	"neofog/internal/sched"
 	"neofog/internal/units"
+	"neofog/internal/virt"
 )
 
 // randomConfig derives an arbitrary-but-valid simulation setup from one
@@ -44,6 +46,24 @@ func randomConfig(seed int64) Config {
 		cfg.Node.FogInstsPerByte = 500
 	}
 	cfg.Faults = randomHooks(rng, nodes, rounds)
+	// Half the runs exercise the self-healing layer, with randomized retry
+	// limits and backoff; a third of those also run NVD4Q partner-clone
+	// pairs so clone failover has survivors to promote.
+	if rng.Intn(2) == 0 {
+		cfg.Recovery = RecoveryConfig{
+			Enabled:     true,
+			MaxRetries:  1 + rng.Intn(3),
+			BackoffBase: units.Duration(1+rng.Intn(20)) * units.Millisecond,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Traces = energytrace.IndependentSet(tc, 2*nodes, 5*units.Minute, rng)
+			sets := make([]virt.LogicalNode, nodes)
+			for i := range sets {
+				sets[i] = virt.LogicalNode{ID: i, Clones: []int{i, nodes + i}}
+			}
+			cfg.CloneSets = sets
+		}
+	}
 	return cfg
 }
 
@@ -121,7 +141,8 @@ func randomHooks(rng *rand.Rand, nodes, rounds int) FaultHooks {
 // conjure packets.
 func TestConservationProperty(t *testing.T) {
 	prop := func(seed int64) bool {
-		r, err := Run(randomConfig(seed))
+		cfg := randomConfig(seed)
+		r, err := Run(cfg)
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -136,6 +157,20 @@ func TestConservationProperty(t *testing.T) {
 		if r.LostInFlight != r.LostRaw+r.LostResults {
 			t.Logf("seed %d: lostInFlight=%d != raw %d + results %d",
 				seed, r.LostInFlight, r.LostRaw, r.LostResults)
+			return false
+		}
+		if r.OrphanLost < 0 || r.OrphanLost > r.LostRaw {
+			t.Logf("seed %d: orphanLost=%d outside [0, lostRaw=%d]", seed, r.OrphanLost, r.LostRaw)
+			return false
+		}
+		// Recovery counters exist only when the layer is armed.
+		if !cfg.Recovery.Enabled && (r.Retransmits != 0 || r.FailoverSlots != 0 || r.BalanceRetries != 0) {
+			t.Logf("seed %d: recovery disabled but rtx=%d failover=%d balRetries=%d",
+				seed, r.Retransmits, r.FailoverSlots, r.BalanceRetries)
+			return false
+		}
+		if r.Retransmits < 0 || r.FailoverSlots < 0 || r.BalanceRetries < 0 {
+			t.Logf("seed %d: negative recovery counter", seed)
 			return false
 		}
 		return r.Samples <= r.Wakeups && r.TotalProcessed() <= r.Samples
@@ -163,6 +198,40 @@ func TestDeterminismProperty(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: determinism extends to the journal stream with the recovery
+// layer armed — retries, failovers, and lease rollbacks must not introduce
+// any nondeterministic ordering into the per-round observability record.
+func TestJournalDeterminismWithRecovery(t *testing.T) {
+	prop := func(seed int64) bool {
+		run := func() ([]byte, Result, error) {
+			cfg := randomConfig(seed)
+			cfg.Recovery = RecoveryConfig{Enabled: true}
+			var buf bytes.Buffer
+			cfg.Journal = &buf
+			r, err := Run(cfg)
+			return buf.Bytes(), r, err
+		}
+		ja, a, errA := run()
+		jb, b, errB := run()
+		if errA != nil || errB != nil {
+			t.Logf("seed %d: %v / %v", seed, errA, errB)
+			return false
+		}
+		if !bytes.Equal(ja, jb) {
+			t.Logf("seed %d: journals diverged (%d vs %d bytes)", seed, len(ja), len(jb))
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Logf("seed %d: results diverged:\n%+v\n%+v", seed, a, b)
+			return false
+		}
+		return a.Conserved()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
 	}
 }

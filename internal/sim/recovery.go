@@ -1,0 +1,44 @@
+package sim
+
+import "neofog/internal/units"
+
+// RecoveryConfig switches on the self-healing protocol layer: link-layer
+// ARQ with energy-aware exponential backoff, persistent route repair
+// around dead spans, NVD4Q clone failover, and abort-safe (lease/commit)
+// load balancing. The zero value disables everything and leaves a run
+// bit-identical to the pre-recovery simulator; with Enabled set, every
+// recovery action is charged through the node's rf timing/energy model, so
+// healing is never free.
+type RecoveryConfig struct {
+	// Enabled is the master switch for all four mechanisms.
+	Enabled bool
+	// MaxRetries is the per-packet ARQ retransmission budget across all
+	// hops (default 2). The effective budget can be shorter when the
+	// backoff schedule hits HoldTime first.
+	MaxRetries int
+	// BackoffBase is the acknowledgement-listen window before the first
+	// retransmission; each further retry doubles it (default 10 ms).
+	// Backoff time is charged at the radio's idle power.
+	BackoffBase units.Duration
+	// HoldTime bounds the total backoff one packet may accumulate —
+	// how long it may sit in the NVBuffer before its slot's work must move
+	// on (default: half the RTC slot).
+	HoldTime units.Duration
+}
+
+// withDefaults resolves the tunables against the run's slot length.
+func (rc RecoveryConfig) withDefaults(slot units.Duration) RecoveryConfig {
+	if !rc.Enabled {
+		return rc
+	}
+	if rc.MaxRetries == 0 {
+		rc.MaxRetries = 2
+	}
+	if rc.BackoffBase == 0 {
+		rc.BackoffBase = 10 * units.Millisecond
+	}
+	if rc.HoldTime == 0 {
+		rc.HoldTime = slot / 2
+	}
+	return rc
+}

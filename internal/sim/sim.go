@@ -73,6 +73,10 @@ type Config struct {
 	// aborts); see internal/faults for plan generation. The zero value
 	// injects nothing and leaves the run bit-identical to a fault-free one.
 	Faults FaultHooks
+	// Recovery configures the self-healing protocol layer (ARQ, route
+	// repair, clone failover, abort-safe balancing). The zero value keeps
+	// the run bit-identical to the pre-recovery simulator.
+	Recovery RecoveryConfig
 	// Seed drives all randomness in the run.
 	Seed int64
 }
@@ -156,6 +160,16 @@ type Result struct {
 	Rejoins int
 	// Moves counts load-balance task delegations.
 	Moves int
+	// OrphanLost counts the subset of LostRaw abandoned because the route
+	// died mid-flight (the packet was orphaned at a dead span) — the losses
+	// the recovery layer's route repair targets.
+	OrphanLost int
+	// Retransmits counts ARQ retransmissions (each charged to the relaying
+	// node); FailoverSlots counts slots where a surviving NVD4Q clone
+	// absorbed a dead owner's phase offset; BalanceRetries counts balancing
+	// rounds automatically re-run after an abort rollback. All three are
+	// zero unless Recovery.Enabled.
+	Retransmits, FailoverSlots, BalanceRetries int
 	// PerNode carries each physical node's counters.
 	PerNode []node.Stats
 	// EnergySeries maps recorded node index → stored energy per round.
@@ -215,6 +229,15 @@ func Run(cfg Config) (Result, error) {
 		balancer = sched.NoBalance{}
 	}
 
+	rec := cfg.Recovery.withDefaults(cfg.Slot)
+	var retrySched mesh.RetrySchedule
+	var lease *sched.Lease
+	if rec.Enabled {
+		retrySched = mesh.NewRetrySchedule(rec.BackoffBase, rec.MaxRetries, rec.HoldTime)
+		lease = &sched.Lease{Inner: balancer}
+		balancer = lease
+	}
+
 	res := Result{
 		Nodes:        n,
 		Rounds:       rounds,
@@ -264,49 +287,103 @@ func Run(cfg Config) (Result, error) {
 		}
 
 		// Wake phase: the responsible clone of each logical node tries to
-		// come alive and sample.
+		// come alive and sample. With recovery enabled, the owner's failure
+		// promotes the next clone by phase distance (NVD4Q clone failover):
+		// clones share the logical node's NVRF identity, so a survivor can
+		// absorb the dead owner's phase offset within the same slot.
 		awake := make([]*node.Node, len(logical)) // responsible node if awake
 		awakeIdx := make([]int, len(logical))     // physical index
 		for li, set := range logical {
-			phys := set.Responsible(round)
-			nd := nodes[phys]
-			awakeIdx[li] = phys
-			// An injected crash takes the node out of the round entirely:
-			// no wake, no sample, no participation. Its neighbours see a
-			// dead relay exactly as with an energy death.
-			if cfg.Faults.NodeDown != nil && cfg.Faults.NodeDown(phys, round) {
-				nd.Stats.CrashedSlots++
-				chain.SetAlive(li, false)
-				continue
+			candidates := []int{set.Responsible(round)}
+			if rec.Enabled && set.Multiplexing() > 1 {
+				candidates = set.WakeOrder(round)
 			}
-			// A node whose RTC died no longer knows the slot schedule: it
-			// must first resynchronise (cheap with the wake-up-radio
-			// extension, a costly blind listen without).
-			nd.CheckRTC()
-			if !nd.RTCSynced() {
-				if !nd.TryResync() {
-					nd.Stats.DesyncedSlots++
-					nd.Stats.WakeFailures++
-					chain.SetAlive(li, false)
+			awakeIdx[li] = candidates[0]
+			woke := false
+			for ci, phys := range candidates {
+				nd := nodes[phys]
+				// An injected crash takes the node out of the round entirely:
+				// no wake, no sample, no participation. Its neighbours see a
+				// dead relay exactly as with an energy death.
+				if cfg.Faults.NodeDown != nil && cfg.Faults.NodeDown(phys, round) {
+					nd.Stats.CrashedSlots++
 					continue
 				}
-			}
-			if nd.Stored() < activationThreshold(nd) {
-				nd.Stats.WakeFailures++
-				chain.SetAlive(li, false)
-				continue
-			}
-			if nd.TryWake() {
-				awake[li] = nd
-				queued[li]++
-				chain.SetAlive(li, true)
-				if cfg.Faults.SensorStuck != nil && cfg.Faults.SensorStuck(phys, round) {
-					nd.Stats.StuckSamples++
+				// A node whose RTC died no longer knows the slot schedule: it
+				// must first resynchronise (cheap with the wake-up-radio
+				// extension, a costly blind listen without).
+				nd.CheckRTC()
+				if !nd.RTCSynced() {
+					if !nd.TryResync() {
+						nd.Stats.DesyncedSlots++
+						nd.Stats.WakeFailures++
+						continue
+					}
 				}
-			} else {
-				chain.SetAlive(li, false)
+				if nd.Stored() < activationThreshold(nd) {
+					nd.Stats.WakeFailures++
+					continue
+				}
+				if nd.TryWake() {
+					awake[li] = nd
+					awakeIdx[li] = phys
+					queued[li]++
+					if ci > 0 {
+						res.FailoverSlots++
+						nd.Stats.FailoverWakes++
+					}
+					if cfg.Faults.SensorStuck != nil && cfg.Faults.SensorStuck(phys, round) {
+						nd.Stats.StuckSamples++
+					}
+					woke = true
+					break
+				}
+			}
+			chain.SetAlive(li, woke)
+		}
+		if rec.Enabled {
+			// Persistent route repair: instead of waiting for a packet to
+			// strand at a dead span, walk the association list and re-point
+			// every stale next-hop at the nearest live ancestor now. Nodes
+			// revived after a blackout are re-admitted the same way — their
+			// downstream pointers snap back to the shorter route.
+			chain.Heal()
+		}
+
+		// ARQ delivery options for this round. Retries are charged to the
+		// relaying node (ACK receive + idle-power backoff + retransmission)
+		// and refused whenever paying would eat into the relay's wake
+		// reserve for the next slot — a retransmission that costs a future
+		// sample is a net loss. Only raw packets are protected: a lost
+		// result beacon costs nothing from the ledger (the fog work already
+		// counted), so ACKing it would be pure overhead.
+		rawOpts := mesh.DeliverOpts{}
+		if rec.Enabled && retrySched.Len() > 0 {
+			rawOpts = mesh.DeliverOpts{
+				Retries:     retrySched.Len(),
+				RepairRoute: true,
+				PayRetry: func(hop, attempt int) bool {
+					if hop < 0 || hop >= len(awake) || attempt > retrySched.Len() {
+						return false
+					}
+					nd := awake[hop]
+					if nd == nil || nd.RFFailed() {
+						return false
+					}
+					cost := nd.RetryCost(nd.TxRawCost(), retrySched.Wait(attempt))
+					if nd.Stored() < cost.Energy+nd.WakeCost() {
+						return false
+					}
+					if !nd.Transmit(cost) {
+						return false
+					}
+					nd.Stats.Retransmits++
+					res.Retransmits++
+					return true
+				},
 			}
 		}
+		resOpts := mesh.DeliverOpts{}
 
 		// Control-node real-time requests bypass the buffered strategy:
 		// the addressed node ships its fresh sample raw, immediately
@@ -321,7 +398,7 @@ func Run(cfg Config) (Result, error) {
 			}
 			cost := nd.TxRawCost()
 			if nd.Stored() >= cost.Energy && nd.Transmit(cost) {
-				if deliver(chain, li, link, rng, &res, rawPacket) {
+				if deliver(chain, li, link, rng, &res, rawPacket, rawOpts) {
 					res.CloudProcessed++
 				}
 				queued[li]--
@@ -379,7 +456,26 @@ func Run(cfg Config) (Result, error) {
 					unaffordable++
 					continue
 				}
-				if !src.Transmit(cost) || !link.Deliver(rng) {
+				if !src.Transmit(cost) {
+					res.LostInFlight++
+					res.LostRaw++
+					lost++
+					continue
+				}
+				delivered := link.Deliver(rng)
+				// Task transfers are single-hop sender→receiver; ARQ retries
+				// are charged to the sender under the same wake-reserve rule
+				// as relay retries.
+				for attempt := 1; !delivered && rec.Enabled && attempt <= retrySched.Len(); attempt++ {
+					rc := src.RetryCost(src.TxRawCost(), retrySched.Wait(attempt))
+					if src.RFFailed() || src.Stored() < rc.Energy+src.WakeCost() || !src.Transmit(rc) {
+						break
+					}
+					src.Stats.Retransmits++
+					res.Retransmits++
+					delivered = link.Deliver(rng)
+				}
+				if !delivered {
 					res.LostInFlight++
 					res.LostRaw++
 					lost++
@@ -413,7 +509,7 @@ func Run(cfg Config) (Result, error) {
 					res.FogProcessed++
 					queued[li]--
 					if nd.Transmit(nd.TxResultCost()) {
-						deliver(chain, li, link, rng, &res, resultPacket)
+						deliver(chain, li, link, rng, &res, resultPacket, resOpts)
 					}
 				}
 			}
@@ -427,7 +523,7 @@ func Run(cfg Config) (Result, error) {
 				// small result packet survives its radio trip.
 				res.FogProcessed++
 				if nd.Transmit(nd.TxResultCost()) {
-					deliver(chain, li, link, rng, &res, resultPacket)
+					deliver(chain, li, link, rng, &res, resultPacket, resOpts)
 				}
 			}
 			// Tasks booked for execution that the node browned out of are
@@ -444,7 +540,7 @@ func Run(cfg Config) (Result, error) {
 					if nd.Stored() < cost.Energy || !nd.Transmit(cost) {
 						break
 					}
-					if deliver(chain, li, link, rng, &res, rawPacket) {
+					if deliver(chain, li, link, rng, &res, rawPacket, rawOpts) {
 						res.CloudProcessed++
 					}
 					leftover--
@@ -457,6 +553,16 @@ func Run(cfg Config) (Result, error) {
 			keep := 0
 			if !volatileNode(nd) {
 				keep = maxBacklog
+				if plan.RolledBack {
+					// Abort-safe balancing: the tasks an aborted round would
+					// have delegated are held in the NVBuffer — up to its
+					// full depth — so the automatic retry next round can
+					// still place them instead of the drop policy eating
+					// them mid-rollback.
+					if full := 65536 / nd.Cfg.PacketBytes; keep < full {
+						keep = full
+					}
+				}
 			}
 			if leftover > keep {
 				res.Dropped += leftover - keep
@@ -510,6 +616,9 @@ func Run(cfg Config) (Result, error) {
 		res.QueuedEnd += q
 	}
 	res.Rejoins = chain.Rejoins
+	if lease != nil {
+		res.BalanceRetries = lease.Retries
+	}
 	return res, nil
 }
 
@@ -578,18 +687,24 @@ const (
 
 // deliver mimics the paper's virtual-buffer transmission: per-packet
 // delivery with the measured success rate, with dead relays triggering
-// orphan-scan rejoins through the chain model.
-func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result, kind packetKind) bool {
-	_, ok := chain.Deliver(li, link, rng)
-	if !ok {
+// orphan-scan rejoins through the chain model. The opts carry the round's
+// ARQ policy (zero value = the classic single-shot delivery). A raw
+// packet abandoned at a dead span is additionally counted as OrphanLost —
+// the subset of LostRaw the recovery layer's route repair goes after.
+func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result, kind packetKind, opts mesh.DeliverOpts) bool {
+	d := chain.DeliverDetail(li, link, rng, opts)
+	if !d.OK {
 		res.LostInFlight++
 		if kind == rawPacket {
 			res.LostRaw++
+			if d.Orphaned {
+				res.OrphanLost++
+			}
 		} else {
 			res.LostResults++
 		}
 	}
-	return ok
+	return d.OK
 }
 
 func recordEnergy(res *Result, record []int, nodes []*node.Node) {

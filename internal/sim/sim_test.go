@@ -406,3 +406,135 @@ func TestWeatherLinkLoss(t *testing.T) {
 			rainy.LostInFlight, clear.LostInFlight)
 	}
 }
+
+// OrphanLost is the subset of LostRaw abandoned at a dead span: a relay
+// that keeps crashing strands raw packets mid-route, and every such loss
+// must show up in both counters without breaking conservation.
+func TestOrphanLostFeedsLostRaw(t *testing.T) {
+	traces := forestTraces(t, 8, 0.9, 53)
+	r := run(t, node.FIOSNVMote, sched.Distributed{}, traces, func(c *Config) {
+		c.RealTimeRequestRate = 0.2
+		c.Faults.NodeDown = func(phys, round int) bool {
+			return (phys == 3 || phys == 4) && round%2 == 0
+		}
+	})
+	if r.OrphanLost == 0 {
+		t.Fatal("a flapping relay span should orphan some raw packets")
+	}
+	if r.OrphanLost > r.LostRaw {
+		t.Fatalf("OrphanLost %d must be a subset of LostRaw %d", r.OrphanLost, r.LostRaw)
+	}
+	if !r.Conserved() {
+		t.Fatalf("conservation broken: %+v", r)
+	}
+}
+
+// With the recovery layer off, every recovery counter stays zero — the
+// self-healing path must be completely inert by default.
+func TestRecoveryCountersZeroWhenDisabled(t *testing.T) {
+	traces := forestTraces(t, 8, 0.8, 57)
+	r := run(t, node.FIOSNVMote, sched.Distributed{}, traces, func(c *Config) {
+		c.Faults.NodeDown = func(phys, round int) bool { return phys == 3 && round%3 == 0 }
+		c.Faults.AbortBalance = func(round int) bool { return round%5 == 0 }
+	})
+	if r.Retransmits != 0 || r.FailoverSlots != 0 || r.BalanceRetries != 0 {
+		t.Fatalf("recovery counters must be zero when disabled: %+v", r)
+	}
+}
+
+// ARQ on a lossy link: retries recover in-flight losses into deliveries,
+// paid for through the rf model, without breaking conservation.
+func TestRecoveryARQOnLossyLink(t *testing.T) {
+	traces := forestTraces(t, 8, 0.9, 59)
+	mut := func(on bool) func(*Config) {
+		return func(c *Config) {
+			c.Link = mesh.LinkModel{SuccessRate: 0.7}
+			c.RealTimeRequestRate = 0.1
+			c.Recovery.Enabled = on
+		}
+	}
+	off := run(t, node.FIOSNVMote, sched.Distributed{}, traces, mut(false))
+	on := run(t, node.FIOSNVMote, sched.Distributed{}, traces, mut(true))
+	if on.Retransmits == 0 {
+		t.Fatal("a 30%-loss link should trigger retransmissions")
+	}
+	lossOff := float64(off.LostInFlight) / float64(off.Samples)
+	lossOn := float64(on.LostInFlight) / float64(on.Samples)
+	if lossOn >= lossOff {
+		t.Fatalf("ARQ should cut the in-flight loss rate: %.3f vs %.3f", lossOn, lossOff)
+	}
+	if !off.Conserved() || !on.Conserved() {
+		t.Fatalf("conservation broken: off=%+v on=%+v", off, on)
+	}
+	t.Logf("loss rate %.3f -> %.3f with %d retransmits", lossOff, lossOn, on.Retransmits)
+}
+
+// NVD4Q clone failover: when a crash fault keeps killing a slot owner,
+// the surviving clone absorbs the dead phase offsets and the logical node
+// keeps sampling.
+func TestRecoveryCloneFailover(t *testing.T) {
+	traces := forestTraces(t, 4, 0.9, 61)
+	sets := []virt.LogicalNode{
+		{ID: 0, Clones: []int{0, 2}},
+		{ID: 1, Clones: []int{1, 3}},
+	}
+	down := func(phys, round int) bool { return phys == 2 }
+	mut := func(on bool) func(*Config) {
+		return func(c *Config) {
+			c.CloneSets = sets
+			c.Rounds = 200
+			c.Faults.NodeDown = down
+			c.Recovery.Enabled = on
+		}
+	}
+	off := run(t, node.FIOSNVMote, sched.Distributed{}, traces, mut(false))
+	on := run(t, node.FIOSNVMote, sched.Distributed{}, traces, mut(true))
+	if on.FailoverSlots == 0 {
+		t.Fatal("the surviving clone should absorb the dead owner's slots")
+	}
+	if on.Samples <= off.Samples {
+		t.Fatalf("failover should recover samples: %d vs %d", on.Samples, off.Samples)
+	}
+	if on.PerNode[0].FailoverWakes == 0 {
+		t.Fatal("the anchor clone should log its failover wakes")
+	}
+	if !on.Conserved() {
+		t.Fatalf("conservation broken: %+v", on)
+	}
+}
+
+// Abort-safe balancing: under injected balancing aborts the lease rolls
+// the round back, holds the would-be delegations in the NVBuffer, and
+// retries next round.
+func TestRecoveryBalanceRetry(t *testing.T) {
+	traces := forestTraces(t, 8, 0.6, 63)
+	// Abort every round: the off arm's 1-packet backlog sheds its queue
+	// build-up continuously, while the on arm's rollback hold keeps it in
+	// the NVBuffer — an effect far larger than the RNG drift the recovery
+	// path introduces.
+	mut := func(on bool) func(*Config) {
+		return func(c *Config) {
+			c.MaxBacklog = 1
+			c.Link = mesh.LinkModel{SuccessRate: 1}
+			c.Faults.AbortBalance = func(round int) bool { return true }
+			c.Recovery.Enabled = on
+		}
+	}
+	off := run(t, node.FIOSNVMote, sched.NoBalance{}, traces, mut(false))
+	on := run(t, node.FIOSNVMote, sched.NoBalance{}, traces, mut(true))
+	if on.BalanceRetries == 0 {
+		t.Fatal("aborted rounds should schedule balance retries")
+	}
+	if on.Dropped >= off.Dropped {
+		t.Fatalf("holding tasks across a rollback should drop less: %d vs %d",
+			on.Dropped, off.Dropped)
+	}
+	if on.QueuedEnd <= off.QueuedEnd {
+		t.Fatalf("held tasks should survive in the NVBuffer: queued %d vs %d",
+			on.QueuedEnd, off.QueuedEnd)
+	}
+	if !off.Conserved() || !on.Conserved() {
+		t.Fatalf("conservation broken: off=%+v on=%+v", off, on)
+	}
+	t.Logf("retries=%d dropped %d -> %d", on.BalanceRetries, off.Dropped, on.Dropped)
+}

@@ -43,6 +43,29 @@ func (l LogicalNode) Responsible(tick int) int {
 	return l.Clones[idx]
 }
 
+// WakeOrder returns the clone candidates for the given RTC tick in
+// failover order: the slot owner first, then the remaining clones by
+// ascending phase distance. This is the NVD4Q clone-failover schedule of
+// the recovery layer: because every clone shares the logical node's NVRF
+// state, the clone whose own slot comes next detects the owner's missed
+// beacon soonest and can absorb the orphaned phase offset — the logical
+// node keeps its QoS at reduced multiplexing while a physical part is dead.
+func (l LogicalNode) WakeOrder(tick int) []int {
+	m := len(l.Clones)
+	if m == 0 {
+		panic("virt: empty clone set")
+	}
+	first := tick % m
+	if first < 0 {
+		first += m
+	}
+	out := make([]int, m)
+	for k := 0; k < m; k++ {
+		out[k] = l.Clones[(first+k)%m]
+	}
+	return out
+}
+
 // PhaseOf reports the phase offset of physical node phys within the set,
 // or -1 if it is not a member.
 func (l LogicalNode) PhaseOf(phys int) int {

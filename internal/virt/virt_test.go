@@ -176,3 +176,31 @@ func TestRotateForChainStaggersPhases(t *testing.T) {
 		t.Fatalf("negative chain rotation broken: %d", got)
 	}
 }
+
+// WakeOrder starts at the slot owner and walks the phases in failover
+// order, for any tick sign.
+func TestWakeOrder(t *testing.T) {
+	set := LogicalNode{ID: 0, Clones: []int{10, 20, 30}}
+	for tick := -7; tick < 9; tick++ {
+		order := set.WakeOrder(tick)
+		if order[0] != set.Responsible(tick) {
+			t.Fatalf("tick %d: order starts at %d, want slot owner %d", tick, order[0], set.Responsible(tick))
+		}
+		seen := map[int]bool{}
+		for _, p := range order {
+			if seen[p] {
+				t.Fatalf("tick %d: clone %d appears twice in %v", tick, p, order)
+			}
+			seen[p] = true
+		}
+		if len(order) != 3 {
+			t.Fatalf("tick %d: order %v misses clones", tick, order)
+		}
+	}
+	// The failover successor is the next phase: if 20 owns the slot, 30
+	// detects the missed beacon first.
+	order := set.WakeOrder(1)
+	if order[0] != 20 || order[1] != 30 || order[2] != 10 {
+		t.Fatalf("WakeOrder(1) = %v, want [20 30 10]", order)
+	}
+}

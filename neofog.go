@@ -128,6 +128,11 @@ type SimulationConfig struct {
 	// whose clock died during a blackout rejoin for microjoules instead of
 	// a costly blind listen (§2.3 future work).
 	WakeupRadio bool
+	// Recovery enables the self-healing protocol layer: energy-aware
+	// link-layer ARQ, persistent route repair, NVD4Q clone failover, and
+	// abort-safe (lease/commit) load balancing. Off by default; every
+	// recovery action is paid for through the node's rf model.
+	Recovery bool
 	// Journal, when non-nil, receives one JSON line per simulated round
 	// (round, awake count, fog/cloud/dropped deltas, LB moves, mean stored
 	// energy) for plotting and debugging.
@@ -148,6 +153,13 @@ type SimulationResult struct {
 	FogProcessed, CloudProcessed, Dropped int
 	// Moves counts load-balance delegations; Rejoins orphan-scan events.
 	Moves, Rejoins int
+	// OrphanLost counts raw packets abandoned at a dead route span.
+	OrphanLost int
+	// Retransmits, FailoverSlots and BalanceRetries count the recovery
+	// layer's ARQ retransmissions, NVD4Q clone-failover wakes, and
+	// balancing rounds re-run after an abort rollback; all zero unless
+	// Recovery was enabled.
+	Retransmits, FailoverSlots, BalanceRetries int
 }
 
 // TotalProcessed is fog plus cloud packets.
@@ -214,6 +226,7 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 		LBInterruption: 0.02,
 		Link:           mesh.DefaultLink(),
 		Journal:        cfg.Journal,
+		Recovery:       sim.RecoveryConfig{Enabled: cfg.Recovery},
 		Seed:           cfg.Seed,
 	}
 	if cfg.Multiplexing > 1 {
@@ -243,6 +256,10 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 		Dropped:        r.Dropped,
 		Moves:          r.Moves,
 		Rejoins:        r.Rejoins,
+		OrphanLost:     r.OrphanLost,
+		Retransmits:    r.Retransmits,
+		FailoverSlots:  r.FailoverSlots,
+		BalanceRetries: r.BalanceRetries,
 	}, nil
 }
 
@@ -318,6 +335,10 @@ func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 		a.Dropped += r.Dropped
 		a.Moves += r.Moves
 		a.Rejoins += r.Rejoins
+		a.OrphanLost += r.OrphanLost
+		a.Retransmits += r.Retransmits
+		a.FailoverSlots += r.FailoverSlots
+		a.BalanceRetries += r.BalanceRetries
 		if r.Rounds > a.Rounds {
 			a.Rounds = r.Rounds
 		}
@@ -460,6 +481,13 @@ var experimentRunners = map[string]func(opts experiments.Options) (*metrics.Tabl
 		}
 		return c.Table, nil
 	},
+	"resilience": func(o experiments.Options) (*metrics.Table, error) {
+		r, err := experiments.Resilience(o)
+		if err != nil {
+			return nil, err
+		}
+		return r.Table, nil
+	},
 }
 
 // RunExperiment regenerates one paper artifact by ID (see ExperimentIDs)
@@ -486,7 +514,13 @@ func runExperimentTable(id string, opts ExperimentOptions) (*metrics.Table, erro
 	if !ok {
 		return nil, fmt.Errorf("neofog: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}
-	o := experiments.Options{Seed: opts.Seed, Nodes: opts.Nodes, Rounds: opts.Rounds}
+	o := experiments.Options{
+		Seed:             opts.Seed,
+		Nodes:            opts.Nodes,
+		Rounds:           opts.Rounds,
+		FaultSeed:        opts.FaultSeed,
+		FaultIntensities: opts.FaultIntensities,
+	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
@@ -502,4 +536,10 @@ type ExperimentOptions struct {
 	// Rounds overrides the RTC slot count (default 1500; use less for a
 	// quick look).
 	Rounds int
+	// FaultSeed drives fault-plan generation for the chaos and resilience
+	// campaigns independently of Seed (default: Seed).
+	FaultSeed int64
+	// FaultIntensities overrides those campaigns' intensity sweep
+	// (non-decreasing in [0, 1], starting at 0).
+	FaultIntensities []float64
 }

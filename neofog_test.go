@@ -90,10 +90,10 @@ func TestSimulateValidation(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("experiments = %d, want 15: %v", len(ids), ids)
+	if len(ids) != 16 {
+		t.Fatalf("experiments = %d, want 16: %v", len(ids), ids)
 	}
-	for _, want := range []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "wispcam", "camera", "chaos"} {
+	for _, want := range []string{"table1", "table2", "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "headline", "wispcam", "camera", "chaos", "resilience"} {
 		found := false
 		for _, id := range ids {
 			if id == want {
