@@ -1,83 +1,53 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation. Each benchmark runs the corresponding experiment harness
-// end-to-end (simulation-backed figures use shortened runs; the full-length
-// versions are exercised by `neofog-sim -exp all` and the test suite).
-// Component-level and ablation benchmarks live in the internal packages.
+// evaluation, plus simulator-throughput and telemetry-overhead cases.
+// Every Benchmark* here delegates to the registry in internal/bench, so
+// `go test -bench` and the cmd/neofog-bench regression harness measure
+// exactly the same code; internal/bench's coverage test enforces that the
+// two lists never drift apart. Component-level and ablation benchmarks
+// live in the internal packages.
 package neofog_test
 
 import (
 	"testing"
 
-	"neofog"
-	"neofog/internal/experiments"
+	"neofog/internal/bench"
 )
 
-func benchExperiment(b *testing.B, id string, rounds int) {
+func runCase(b *testing.B, name string) {
 	b.Helper()
-	for i := 0; i < b.N; i++ {
-		out, err := neofog.RunExperiment(id, neofog.ExperimentOptions{Seed: 1, Rounds: rounds})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if len(out) == 0 {
-			b.Fatal("empty experiment output")
-		}
+	c, ok := bench.Find(name)
+	if !ok {
+		b.Fatalf("no bench case %q registered in internal/bench", name)
 	}
+	c.F(b)
 }
 
-func BenchmarkTable1(b *testing.B)   { benchExperiment(b, "table1", 0) }
-func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2", 0) }
-func BenchmarkFig4(b *testing.B)     { benchExperiment(b, "fig4", 0) }
-func BenchmarkFig6(b *testing.B)     { benchExperiment(b, "fig6", 0) }
-func BenchmarkFig7(b *testing.B)     { benchExperiment(b, "fig7", 0) }
-func BenchmarkFig9(b *testing.B)     { benchExperiment(b, "fig9", 300) }
-func BenchmarkFig10(b *testing.B)    { benchExperiment(b, "fig10", 300) }
-func BenchmarkFig11(b *testing.B)    { benchExperiment(b, "fig11", 300) }
-func BenchmarkFig12(b *testing.B)    { benchExperiment(b, "fig12", 300) }
-func BenchmarkFig13(b *testing.B)    { benchExperiment(b, "fig13", 300) }
-func BenchmarkHeadline(b *testing.B) { benchExperiment(b, "headline", 300) }
+func BenchmarkTable1(b *testing.B)   { runCase(b, "Table1") }
+func BenchmarkTable2(b *testing.B)   { runCase(b, "Table2") }
+func BenchmarkFig4(b *testing.B)     { runCase(b, "Fig4") }
+func BenchmarkFig6(b *testing.B)     { runCase(b, "Fig6") }
+func BenchmarkFig7(b *testing.B)     { runCase(b, "Fig7") }
+func BenchmarkFig9(b *testing.B)     { runCase(b, "Fig9") }
+func BenchmarkFig10(b *testing.B)    { runCase(b, "Fig10") }
+func BenchmarkFig11(b *testing.B)    { runCase(b, "Fig11") }
+func BenchmarkFig12(b *testing.B)    { runCase(b, "Fig12") }
+func BenchmarkFig13(b *testing.B)    { runCase(b, "Fig13") }
+func BenchmarkHeadline(b *testing.B) { runCase(b, "Headline") }
 
 // BenchmarkSimulateNEOFog measures the system simulator's throughput on
 // the standard 10-node, 5-hour deployment.
-func BenchmarkSimulateNEOFog(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := neofog.Simulate(neofog.SimulationConfig{Seed: int64(i + 1)})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.TotalProcessed() == 0 {
-			b.Fatal("degenerate run")
-		}
-	}
-}
+func BenchmarkSimulateNEOFog(b *testing.B) { runCase(b, "SimulateNEOFog") }
+
+// BenchmarkSimulateTelemetry is the telemetry-enabled twin of
+// BenchmarkSimulateNEOFog; the delta is the observability layer's cost.
+func BenchmarkSimulateTelemetry(b *testing.B) { runCase(b, "SimulateTelemetry") }
 
 // BenchmarkSimulateLargeFleet runs the 100-node inter-chain scale the
 // paper's simulator targets (reduced rounds to keep the benchmark honest
 // but bounded).
-func BenchmarkSimulateLargeFleet(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := neofog.Simulate(neofog.SimulationConfig{
-			Nodes:  100,
-			Rounds: 300,
-			Seed:   int64(i + 1),
-		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		_ = res
-	}
-}
+func BenchmarkSimulateLargeFleet(b *testing.B) { runCase(b, "SimulateLargeFleet") }
 
 // BenchmarkFigPacketsFull is the full-length Fig. 10 regeneration (5
 // profiles × 3 systems × 1500 rounds), for tracking the cost of the
-// heaviest published artifact.
-func BenchmarkFigPacketsFull(b *testing.B) {
-	if testing.Short() {
-		b.Skip("full-length")
-	}
-	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.Fig10Independent(experiments.Options{Seed: 1}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+// heaviest published artifact. Skipped under -short.
+func BenchmarkFigPacketsFull(b *testing.B) { runCase(b, "FigPacketsFull") }

@@ -1,0 +1,125 @@
+// Command neofog-bench is the regression-bench harness: it runs the
+// registered headline benchmarks N times each, writes the median ns/op,
+// allocs/op and B/op to a JSON report, and optionally gates the fresh
+// numbers against a checked-in baseline.
+//
+// Usage:
+//
+//	neofog-bench -runs 3 -out BENCH_PR3.json
+//	neofog-bench -short -baseline BENCH_PR3.json -ns-tolerance -1 -alloc-tolerance 0.25
+//	neofog-bench -bench Headline -benchtime 2x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"testing"
+
+	"neofog/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neofog-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// testing.Benchmark only works outside `go test` after testing.Init
+	// registers the test.* flags; benchtime and short are then set through
+	// the flag values the testing package reads.
+	testing.Init()
+	var (
+		runs         = flag.Int("runs", 3, "measurement runs per benchmark (the report records medians)")
+		benchtime    = flag.String("benchtime", "1x", "per-run benchmark time (Go benchtime syntax, e.g. 1x, 2s)")
+		out          = flag.String("out", "BENCH_PR3.json", "write the JSON report here ('' = stdout only)")
+		filter       = flag.String("bench", "", "regexp selecting benchmark names (default: all)")
+		baselinePath = flag.String("baseline", "", "gate against this baseline report (may equal -out; it is read first)")
+		nsTol        = flag.Float64("ns-tolerance", 0.5, "allowed ns/op regression fraction over baseline; negative disables the wall-time gate")
+		allocTol     = flag.Float64("alloc-tolerance", 0.1, "allowed allocs/op regression fraction over baseline; negative disables")
+		short        = flag.Bool("short", false, "skip full-length cases (testing.Short)")
+		list         = flag.Bool("list", false, "list benchmark names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, c := range bench.Cases() {
+			fmt.Println(c.Name)
+		}
+		return nil
+	}
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+	if *short {
+		if err := flag.Set("test.short", "true"); err != nil {
+			return err
+		}
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			return fmt.Errorf("bad -bench pattern: %w", err)
+		}
+	}
+
+	// Read the baseline before writing -out: pointing both at the same
+	// file is the intended self-gating workflow.
+	var baseline bench.Report
+	haveBaseline := false
+	if *baselinePath != "" {
+		var err error
+		if baseline, err = bench.ReadJSON(*baselinePath); err != nil {
+			return err
+		}
+		haveBaseline = true
+	}
+
+	rep := bench.Report{Runs: *runs, Benchtime: *benchtime}
+	for _, c := range bench.Cases() {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		m, ok := bench.Measure(c, *runs)
+		if !ok {
+			fmt.Printf("%-24s skipped\n", c.Name)
+			continue
+		}
+		fmt.Printf("%-24s %14.0f ns/op %10d allocs/op %12d B/op\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp)
+		rep.Results = append(rep.Results, m)
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmarks matched")
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteJSON(f, rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if haveBaseline {
+		if violations := bench.Compare(rep, baseline, *nsTol, *allocTol); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "regression:", v)
+			}
+			return fmt.Errorf("%d benchmark regression(s) against %s", len(violations), *baselinePath)
+		}
+		fmt.Printf("within tolerance of %s\n", *baselinePath)
+	}
+	return nil
+}

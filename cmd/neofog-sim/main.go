@@ -7,12 +7,15 @@
 //	neofog-sim -exp all                   # every experiment
 //	neofog-sim -list                      # list experiment IDs
 //	neofog-sim -system neofog -weather rainy -mux 3   # custom run
+//	neofog-sim -exp headline -trace t.json -timeline t.csv   # with telemetry
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -37,7 +40,52 @@ func parseIntensities(s string) ([]float64, error) {
 	return out, nil
 }
 
+// writeTelemetry exports the collected telemetry to the requested files
+// and prints the summary table.
+func writeTelemetry(tel *neofog.Telemetry, tracePath, timelinePath string) error {
+	if tel == nil {
+		return nil
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := tel.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (Chrome trace; open in chrome://tracing or ui.perfetto.dev)\n", tracePath)
+	}
+	if timelinePath != "" {
+		f, err := os.Create(timelinePath)
+		if err != nil {
+			return err
+		}
+		if err := tel.WriteTimeline(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (per-node energy/backlog timeline CSV)\n", timelinePath)
+	}
+	fmt.Println(tel.Summary())
+	return nil
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	var (
 		exp     = flag.String("exp", "", "experiment ID to run (or 'all'); see -list")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
@@ -58,13 +106,16 @@ func main() {
 		recover = flag.Bool("recover", false, "enable the self-healing layer (ARQ, clone failover, abort-safe balancing) in custom runs")
 		fseed   = flag.Int64("fault-seed", 0, "fault-plan seed for -exp chaos/resilience (0 = same as -seed)")
 		fints   = flag.String("fault-intensities", "", "comma-separated fault intensity sweep for -exp chaos/resilience, e.g. 0,0.5,1 (must start at 0, non-decreasing)")
+		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+		timef   = flag.String("timeline", "", "write a per-node energy/backlog timeline CSV to this file")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
 	intensities, err := parseIntensities(*fints)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "neofog-sim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	if *list {
@@ -73,7 +124,38 @@ func main() {
 		fmt.Println("              (tune with -fault-seed and -fault-intensities)")
 		fmt.Println("  resilience  A/B of the self-healing layer (recovery off vs on) over")
 		fmt.Println("              the same sweep; same -fault-seed/-fault-intensities flags")
-		return
+		return nil
+	}
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
+			}
+		}()
+	}
+
+	var tel *neofog.Telemetry
+	if *tracef != "" || *timef != "" {
+		tel = neofog.NewTelemetry()
 	}
 
 	if *exp != "" {
@@ -84,34 +166,31 @@ func main() {
 		opts := neofog.ExperimentOptions{
 			Seed: *seed, Nodes: *nodes, Rounds: *rounds,
 			FaultSeed: *fseed, FaultIntensities: intensities,
+			Telemetry: tel,
 		}
 		if *csvPath != "" {
 			if len(ids) != 1 {
-				fmt.Fprintln(os.Stderr, "neofog-sim: -csv needs exactly one experiment")
-				os.Exit(1)
+				return fmt.Errorf("-csv needs exactly one experiment")
 			}
 			f, err := os.Create(*csvPath)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
-				os.Exit(1)
+				return err
 			}
 			defer f.Close()
 			if err := neofog.RunExperimentCSV(ids[0], opts, f); err != nil {
-				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Printf("wrote %s\n", *csvPath)
-			return
+			return writeTelemetry(tel, *tracef, *timef)
 		}
 		for _, id := range ids {
 			out, err := neofog.RunExperiment(id, opts)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "neofog-sim:", err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Println(out)
 		}
-		return
+		return writeTelemetry(tel, *tracef, *timef)
 	}
 
 	cfg := neofog.SimulationConfig{
@@ -126,13 +205,13 @@ func main() {
 		Multiplexing:        *mux,
 		Resumable:           *resume,
 		Recovery:            *recover,
+		Telemetry:           tel,
 		Seed:                *seed,
 	}
 	if *journal != "" {
 		f, err := os.Create(*journal)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "neofog-sim:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		cfg.Journal = f
@@ -146,8 +225,7 @@ func main() {
 		res, err = neofog.Simulate(cfg)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "neofog-sim:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("system=%s weather=%s nodes=%d mux=%d rounds=%d\n",
 		*system, *weather, *nodes, *mux, res.Rounds)
@@ -165,4 +243,5 @@ func main() {
 		fmt.Printf("failover wakes:  %d\n", res.FailoverSlots)
 		fmt.Printf("balance retries: %d\n", res.BalanceRetries)
 	}
+	return writeTelemetry(tel, *tracef, *timef)
 }

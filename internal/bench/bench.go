@@ -1,0 +1,242 @@
+// Package bench is the regression-bench harness behind cmd/neofog-bench
+// and the root package's Benchmark* functions: one registry of headline
+// benchmark cases, a median-of-N measurement runner built on
+// testing.Benchmark, a JSON report format (BENCH_PR3.json), and a
+// tolerance gate comparing a fresh report against a checked-in baseline.
+//
+// The root bench_test.go delegates every Benchmark* to a case here, so
+// `go test -bench` and `neofog-bench` measure exactly the same code; a
+// coverage test enforces that the two lists never drift apart.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"testing"
+
+	"neofog"
+	"neofog/internal/experiments"
+)
+
+// Case is one named benchmark.
+type Case struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+func experimentCase(id string, rounds int) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := neofog.RunExperiment(id, neofog.ExperimentOptions{Seed: 1, Rounds: rounds})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(out) == 0 {
+				b.Fatal("empty experiment output")
+			}
+		}
+	}
+}
+
+// Cases returns the benchmark registry: every experiment harness the
+// paper's evaluation regenerates (shortened simulation-backed figures),
+// the simulator throughput cases, and the telemetry-overhead case. Names
+// match the root package's Benchmark* suffixes.
+func Cases() []Case {
+	return []Case{
+		{"Table1", experimentCase("table1", 0)},
+		{"Table2", experimentCase("table2", 0)},
+		{"Fig4", experimentCase("fig4", 0)},
+		{"Fig6", experimentCase("fig6", 0)},
+		{"Fig7", experimentCase("fig7", 0)},
+		{"Fig9", experimentCase("fig9", 300)},
+		{"Fig10", experimentCase("fig10", 300)},
+		{"Fig11", experimentCase("fig11", 300)},
+		{"Fig12", experimentCase("fig12", 300)},
+		{"Fig13", experimentCase("fig13", 300)},
+		{"Headline", experimentCase("headline", 300)},
+		{"SimulateNEOFog", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := neofog.Simulate(neofog.SimulationConfig{Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalProcessed() == 0 {
+					b.Fatal("degenerate run")
+				}
+			}
+		}},
+		{"SimulateTelemetry", func(b *testing.B) {
+			// The telemetry-enabled twin of SimulateNEOFog: the delta
+			// between the two is the observability layer's overhead.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tel := neofog.NewTelemetry()
+				res, err := neofog.Simulate(neofog.SimulationConfig{Seed: int64(i + 1), Telemetry: tel})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalProcessed() == 0 || tel.Counter("sim.wakeups") == 0 {
+					b.Fatal("degenerate run")
+				}
+			}
+		}},
+		{"SimulateLargeFleet", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := neofog.Simulate(neofog.SimulationConfig{
+					Nodes:  100,
+					Rounds: 300,
+					Seed:   int64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+		}},
+		{"FigPacketsFull", func(b *testing.B) {
+			if testing.Short() {
+				b.Skip("full-length")
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := experiments.Fig10Independent(experiments.Options{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// Find returns the named case.
+func Find(name string) (Case, bool) {
+	for _, c := range Cases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// Measurement is the median-of-runs record for one benchmark.
+type Measurement struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// N is the total benchmark iterations across all runs.
+	N int `json:"n"`
+}
+
+// Measure runs the case `runs` times under testing.Benchmark and reports
+// the per-metric medians — medians, not means, so one noisy run on a
+// shared machine cannot skew the record. The second return is false when
+// the case skipped itself (e.g. a full-length case under -short).
+func Measure(c Case, runs int) (Measurement, bool) {
+	if runs < 1 {
+		runs = 1
+	}
+	ns := make([]float64, 0, runs)
+	allocs := make([]int64, 0, runs)
+	bytes := make([]int64, 0, runs)
+	n := 0
+	for i := 0; i < runs; i++ {
+		r := testing.Benchmark(c.F)
+		if r.N == 0 {
+			return Measurement{}, false
+		}
+		ns = append(ns, float64(r.T.Nanoseconds())/float64(r.N))
+		allocs = append(allocs, r.AllocsPerOp())
+		bytes = append(bytes, r.AllocedBytesPerOp())
+		n += r.N
+	}
+	return Measurement{
+		Name:        c.Name,
+		NsPerOp:     medianFloat(ns),
+		AllocsPerOp: medianInt(allocs),
+		BytesPerOp:  medianInt(bytes),
+		N:           n,
+	}, true
+}
+
+func medianFloat(v []float64) float64 {
+	sort.Float64s(v)
+	m := len(v) / 2
+	if len(v)%2 == 1 {
+		return v[m]
+	}
+	return (v[m-1] + v[m]) / 2
+}
+
+func medianInt(v []int64) int64 {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	m := len(v) / 2
+	if len(v)%2 == 1 {
+		return v[m]
+	}
+	return (v[m-1] + v[m]) / 2
+}
+
+// Report is the BENCH_PR3.json schema.
+type Report struct {
+	Runs      int           `json:"runs"`
+	Benchtime string        `json:"benchtime"`
+	Results   []Measurement `json:"results"`
+}
+
+// WriteJSON writes the report with stable formatting.
+func WriteJSON(w io.Writer, rep Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ReadJSON loads a report file.
+func ReadJSON(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return Report{}, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Compare gates current against baseline: a benchmark regresses when its
+// median exceeds the baseline by more than the tolerance fraction (0.5 =
+// 50% slower allowed). A negative tolerance disables that gate — the
+// ns/op gate is usually disabled on shared CI runners, where wall time is
+// noise but allocation counts are deterministic. Only names present in
+// both reports are compared. It returns one message per violation.
+func Compare(current, baseline Report, nsTol, allocTol float64) []string {
+	base := map[string]Measurement{}
+	for _, m := range baseline.Results {
+		base[m.Name] = m
+	}
+	var violations []string
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		if nsTol >= 0 && b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+nsTol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+				cur.Name, cur.NsPerOp, b.NsPerOp, nsTol*100))
+		}
+		if allocTol >= 0 && float64(cur.AllocsPerOp) > float64(b.AllocsPerOp)*(1+allocTol) {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d allocs/op exceeds baseline %d allocs/op by more than %.0f%%",
+				cur.Name, cur.AllocsPerOp, b.AllocsPerOp, allocTol*100))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// Every Benchmark* in the root package must delegate to a registered case
+// and every registered case must have a root Benchmark* — the two lists
+// are the same benchmarks measured by two front ends (`go test -bench`
+// and cmd/neofog-bench), so drift in either direction would silently
+// shrink the regression gate's coverage.
+func TestRegistryCoversRootBenchmarks(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "../../bench_test.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing root bench_test.go: %v", err)
+	}
+	rootNames := map[string]bool{}
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv != nil || !strings.HasPrefix(fn.Name.Name, "Benchmark") {
+			continue
+		}
+		rootNames[strings.TrimPrefix(fn.Name.Name, "Benchmark")] = true
+	}
+	if len(rootNames) == 0 {
+		t.Fatal("found no Benchmark* functions in root bench_test.go")
+	}
+	caseNames := map[string]bool{}
+	for _, c := range Cases() {
+		if caseNames[c.Name] {
+			t.Fatalf("duplicate case %q", c.Name)
+		}
+		caseNames[c.Name] = true
+		if !rootNames[c.Name] {
+			t.Errorf("case %q has no root Benchmark%s delegation", c.Name, c.Name)
+		}
+	}
+	for name := range rootNames {
+		if !caseNames[name] {
+			t.Errorf("root Benchmark%s has no registered case", name)
+		}
+	}
+}
+
+// Measure must produce sane medians and honour skips.
+func TestMeasure(t *testing.T) {
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := Measure(Case{Name: "trivial", F: func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = make([]byte, 64)
+		}
+	}}, 3)
+	if !ok {
+		t.Fatal("trivial case reported as skipped")
+	}
+	if m.Name != "trivial" || m.N < 3 || m.NsPerOp < 0 {
+		t.Fatalf("bad measurement: %+v", m)
+	}
+	if _, ok := Measure(Case{Name: "skipped", F: func(b *testing.B) { b.Skip("always") }}, 2); ok {
+		t.Fatal("skipping case reported as measured")
+	}
+}
+
+func TestMedians(t *testing.T) {
+	if got := medianFloat([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("odd median = %v", got)
+	}
+	if got := medianFloat([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	if got := medianInt([]int64{5, 1, 9}); got != 5 {
+		t.Fatalf("int median = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Report{Results: []Measurement{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	cur := Report{Results: []Measurement{
+		{Name: "A", NsPerOp: 200, AllocsPerOp: 10}, // 2x slower
+		{Name: "B", NsPerOp: 100, AllocsPerOp: 12}, // 20% more allocs
+		{Name: "C", NsPerOp: 9999, AllocsPerOp: 9999},
+	}}
+	if v := Compare(cur, base, 0.5, 0.1); len(v) != 2 {
+		t.Fatalf("want 2 violations, got %v", v)
+	}
+	// Disabled gates pass everything; C is not in the baseline and is
+	// never compared.
+	if v := Compare(cur, base, -1, -1); len(v) != 0 {
+		t.Fatalf("disabled gates still flagged %v", v)
+	}
+	if v := Compare(cur, base, -1, 0.25); len(v) != 0 {
+		t.Fatalf("within-tolerance allocs flagged %v", v)
+	}
+}

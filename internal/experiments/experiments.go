@@ -17,6 +17,7 @@ import (
 	"neofog/internal/rf"
 	"neofog/internal/sched"
 	"neofog/internal/sim"
+	"neofog/internal/telemetry"
 	"neofog/internal/units"
 )
 
@@ -36,6 +37,12 @@ type Options struct {
 	// non-decreasing in [0, 1] and start at 0; default {0, 0.25, 0.5,
 	// 0.75, 1}).
 	FaultIntensities []float64
+	// Telemetry, when non-nil, collects every underlying simulation run's
+	// telemetry: each run records into a private child recorder and the
+	// children are merged into this one in run order, so a multi-system
+	// experiment's trace reads as one chain per run. Results are
+	// bit-identical with or without it.
+	Telemetry *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -235,5 +242,18 @@ func runSystem(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.S
 	if mut != nil {
 		mut(&cfg)
 	}
-	return sim.Run(cfg)
+	// Each underlying run records into its own child recorder; the child is
+	// merged into the experiment's recorder only on success, tagging the run
+	// as the next chain. Merge order equals run order, so experiment
+	// telemetry is as deterministic as the experiment itself.
+	var child *telemetry.Recorder
+	if opts.Telemetry.Enabled() {
+		child = telemetry.New()
+		cfg.Telemetry = child
+	}
+	res, err := sim.Run(cfg)
+	if err == nil {
+		opts.Telemetry.MergeNext(child)
+	}
+	return res, err
 }

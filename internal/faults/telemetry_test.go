@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"testing"
+
+	"neofog/internal/mesh"
+	"neofog/internal/sim"
+	"neofog/internal/telemetry"
+)
+
+func TestInstrumentHooksCountsActivations(t *testing.T) {
+	h := sim.FaultHooks{
+		NodeDown: func(phys, round int) bool { return phys == 1 && round < 2 },
+		Blackout: func(phys, round int) bool { return false },
+		Link: func(round int) (mesh.LinkModel, bool) {
+			return mesh.LinkModel{SuccessRate: 0.5}, round == 0
+		},
+		AbortBalance: func(round int) bool { return round == 1 },
+	}
+	tel := telemetry.New()
+	ih := InstrumentHooks(h, tel)
+	if ih.RFFailed != nil || ih.SensorStuck != nil {
+		t.Fatal("nil hooks must stay nil after instrumentation")
+	}
+	for round := 0; round < 3; round++ {
+		for phys := 0; phys < 2; phys++ {
+			// The wrapped hooks must return exactly what the originals do.
+			if got, want := ih.NodeDown(phys, round), h.NodeDown(phys, round); got != want {
+				t.Fatalf("NodeDown(%d,%d) = %v, want %v", phys, round, got, want)
+			}
+			ih.Blackout(phys, round)
+		}
+		lm, ok := ih.Link(round)
+		if wantLM, wantOK := h.Link(round); lm != wantLM || ok != wantOK {
+			t.Fatalf("Link(%d) = %v,%v want %v,%v", round, lm, ok, wantLM, wantOK)
+		}
+		ih.AbortBalance(round)
+	}
+	for name, want := range map[string]int64{
+		"faults.node_down":     2,
+		"faults.blackout":      0,
+		"faults.link_degraded": 1,
+		"faults.balance_abort": 1,
+	} {
+		if got := tel.Counter(name); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestInstrumentHooksNilRecorderIsIdentity(t *testing.T) {
+	h := sim.FaultHooks{NodeDown: func(phys, round int) bool { return true }}
+	ih := InstrumentHooks(h, nil)
+	if ih.NodeDown == nil || !ih.NodeDown(0, 0) {
+		t.Fatal("nil recorder must leave hooks unchanged")
+	}
+}

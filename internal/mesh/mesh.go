@@ -261,6 +261,10 @@ type DeliverOpts struct {
 	// re-associating around a dead relay, the holding hop retransmits to
 	// its new next hop (consuming one retry) instead of losing the packet.
 	RepairRoute bool
+	// OnOrphan, when non-nil, is called with the holding hop (chain index)
+	// every time a packet dies at a dead relay. Purely observational — it
+	// must not mutate the chain or the RNG stream.
+	OnOrphan func(hop int)
 }
 
 // Delivery is one relay attempt's outcome.
@@ -323,6 +327,9 @@ func (c *Chain) DeliverDetail(i int, link LinkModel, rng *rand.Rand, opts Delive
 			c.Rejoins++
 			if !opts.RepairRoute || budget <= 0 ||
 				(opts.PayRetry != nil && !opts.PayRetry(cur, d.Retransmits+1)) {
+				if opts.OnOrphan != nil {
+					opts.OnOrphan(cur)
+				}
 				d.Orphaned = true
 				return d
 			}

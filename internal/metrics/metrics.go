@@ -85,7 +85,7 @@ func (t *Table) Format() string {
 // WriteCSV emits the table as CSV (header included).
 func (t *Table) WriteCSV(w io.Writer) error {
 	esc := func(s string) string {
-		if strings.ContainsAny(s, ",\"\n") {
+		if strings.ContainsAny(s, ",\"\n\r") {
 			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 		}
 		return s

@@ -2,6 +2,8 @@ package metrics
 
 import (
 	"bytes"
+	"encoding/csv"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -67,5 +69,47 @@ func TestHelpers(t *testing.T) {
 	}
 	if Itoa(-3) != "-3" || Ftoa(1.0/3, 3) != "0.333" {
 		t.Fatal("format helpers wrong")
+	}
+}
+
+// TestWriteCSVRFC4180RoundTrip feeds every quoting edge case RFC 4180
+// names — embedded commas, quotes, LF, and a lone CR — through WriteCSV
+// and reads it back with the standard library's csv.Reader. Note
+// csv.Reader normalizes \r\n to \n inside quoted fields, so the CR cell
+// deliberately uses a bare \r.
+func TestWriteCSVRFC4180RoundTrip(t *testing.T) {
+	tb := NewTable("Edge", "kind", "cell")
+	rows := [][]string{
+		{"comma", "has,comma"},
+		{"quote", `has"quote`},
+		{"both", `a,"b",c`},
+		{"newline", "line1\nline2"},
+		{"cr", "cr\rmiddle"},
+		{"plain", "plain"},
+		{"empty", ""},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1])
+	}
+
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Go's csv.Reader tolerates a bare CR in an unquoted field, so the
+	// round trip alone cannot catch unquoted CRs; RFC 4180 requires them
+	// quoted, and strict parsers (and spreadsheet imports) choke otherwise.
+	if !strings.Contains(buf.String(), "\"cr\rmiddle\"") {
+		t.Fatalf("cell with bare CR was not quoted:\n%q", buf.String())
+	}
+	rd := csv.NewReader(&buf)
+	rd.FieldsPerRecord = 2
+	got, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	want := append([][]string{{"kind", "cell"}}, rows...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %q\nwant %q", got, want)
 	}
 }

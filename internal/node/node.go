@@ -292,6 +292,20 @@ func (n *Node) WakeCost() units.Energy {
 	return wake
 }
 
+// WakeTime is the wall-clock counterpart of WakeCost: processor restore
+// plus the basic control computation (plus the VP's software reboot). It
+// is what the telemetry layer uses to place the wake span inside the RTC
+// slot; like WakeCost it is a pure function of the configuration.
+func (n *Node) WakeTime() units.Duration {
+	basicT, _ := n.Cfg.Core.Exec(n.Cfg.App.NaiveInsts)
+	t := n.Proc.RestoreTime + basicT
+	if n.Cfg.Kind == NOSVP {
+		rebootT, _ := n.Cfg.Core.Exec(2000)
+		t += rebootT
+	}
+	return t
+}
+
 // TryWake attempts to come alive at an RTC slot. On success the node has
 // sampled one packet into its NVBuffer (or RAM for a VP).
 func (n *Node) TryWake() bool {

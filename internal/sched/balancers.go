@@ -52,6 +52,16 @@ type Plan struct {
 	RolledBack bool
 }
 
+// TotalMoved reports the number of tasks delegated across all moves in the
+// plan — the balancer's per-round work volume.
+func (p Plan) TotalMoved() int {
+	n := 0
+	for _, m := range p.Moves {
+		n += m.Count
+	}
+	return n
+}
+
 // Balancer plans one period of task placement over a chain.
 type Balancer interface {
 	Name() string

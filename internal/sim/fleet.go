@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"neofog/internal/telemetry"
 )
 
 // The paper's system-level simulator "starts thousands of node simulators
@@ -28,7 +30,11 @@ type FleetResult struct {
 // with a Journal write into private buffers during the run; the buffers
 // are flushed to the configured writers in input order afterwards, so a
 // shared writer sees chain 0's rounds, then chain 1's, and so on — never
-// an interleaving.
+// an interleaving. Telemetry gets the same treatment: a chain with a
+// Recorder records into a private per-chain child during the run, and the
+// children are merged into the configured recorder in input order
+// (telemetry.MergeNext), so a shared recorder reads exactly as if the
+// chains had run serially — race-free and byte-identical across runs.
 func RunFleet(configs []Config) (FleetResult, error) {
 	if len(configs) == 0 {
 		return FleetResult{}, fmt.Errorf("sim: empty fleet")
@@ -36,11 +42,16 @@ func RunFleet(configs []Config) (FleetResult, error) {
 
 	local := make([]Config, len(configs))
 	journals := make([]*bytes.Buffer, len(configs))
+	recorders := make([]*telemetry.Recorder, len(configs))
 	for i := range configs {
 		local[i] = configs[i]
 		if configs[i].Journal != nil {
 			journals[i] = &bytes.Buffer{}
 			local[i].Journal = journals[i]
+		}
+		if configs[i].Telemetry != nil {
+			recorders[i] = telemetry.New()
+			local[i].Telemetry = recorders[i]
 		}
 	}
 
@@ -69,6 +80,11 @@ func RunFleet(configs []Config) (FleetResult, error) {
 		}
 		if _, err := configs[i].Journal.Write(buf.Bytes()); err != nil {
 			return FleetResult{}, fmt.Errorf("sim: chain %d: flushing journal: %w", i, err)
+		}
+	}
+	for i, child := range recorders {
+		if child != nil {
+			configs[i].Telemetry.MergeNext(child)
 		}
 	}
 

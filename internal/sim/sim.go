@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 
 	"neofog/internal/energytrace"
 	"neofog/internal/mesh"
 	"neofog/internal/node"
 	"neofog/internal/sched"
+	"neofog/internal/telemetry"
 	"neofog/internal/units"
 	"neofog/internal/virt"
 )
@@ -77,6 +79,13 @@ type Config struct {
 	// repair, clone failover, abort-safe balancing). The zero value keeps
 	// the run bit-identical to the pre-recovery simulator.
 	Recovery RecoveryConfig
+	// Telemetry, when non-nil, records phase spans, counters, histograms
+	// and per-node energy/backlog timelines as the run progresses (see
+	// internal/telemetry). It observes and never perturbs: the recorder
+	// reads no randomness and charges no energy, so the Result is
+	// bit-identical with telemetry on or off, and the nil default costs
+	// nothing on the hot path.
+	Telemetry *telemetry.Recorder
 	// Seed drives all randomness in the run.
 	Seed int64
 }
@@ -238,6 +247,43 @@ func Run(cfg Config) (Result, error) {
 		balancer = lease
 	}
 
+	// Telemetry setup. Everything below is observational only: no recording
+	// call may touch the RNG or any node ledger, and every helper is a no-op
+	// on the nil recorder, so the disabled path stays untouched.
+	tel := cfg.Telemetry
+	var physLogical []int        // physical index → logical slot owner
+	var cursors []units.Duration // per-node running span cursor within the slot
+	if tel.Enabled() {
+		physLogical = make([]int, n)
+		for i := range physLogical {
+			physLogical[i] = -1
+		}
+		for li, set := range logical {
+			for _, p := range set.Clones {
+				if p >= 0 && p < n {
+					physLogical[p] = li
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			tel.Track(i, "node "+strconv.Itoa(i))
+		}
+		tel.Track(n, "balancer")
+		cursors = make([]units.Duration, n)
+	}
+	// telSpan places a span at the node's running cursor within the current
+	// slot and advances it, so each track reads as a contiguous activity
+	// lane in the trace.
+	telSpan := func(phys int, ph telemetry.Phase, dur units.Duration, value float64) {
+		if tel == nil {
+			return
+		}
+		tel.Span(phys, ph, cursors[phys], dur, value)
+		if dur > 0 {
+			cursors[phys] += dur
+		}
+	}
+
 	res := Result{
 		Nodes:        n,
 		Rounds:       rounds,
@@ -284,6 +330,12 @@ func Run(cfg Config) (Result, error) {
 			}
 			nd.BeginSlot(income)
 			nd.SetRFFailed(cfg.Faults.RFFailed != nil && cfg.Faults.RFFailed(i, round))
+			if tel.Enabled() {
+				cursors[i] = t0
+				if income > 0 {
+					tel.Span(i, telemetry.PhaseHarvest, t0, cfg.Slot, float64(income))
+				}
+			}
 		}
 
 		// Wake phase: the responsible clone of each logical node tries to
@@ -335,6 +387,15 @@ func Run(cfg Config) (Result, error) {
 					if cfg.Faults.SensorStuck != nil && cfg.Faults.SensorStuck(phys, round) {
 						nd.Stats.StuckSamples++
 					}
+					if tel.Enabled() {
+						tel.Count("sim.wakeups", 1)
+						telSpan(phys, telemetry.PhaseWake, nd.WakeTime(), nd.Stored().Millijoules())
+						tel.Instant(phys, telemetry.PhaseSense, cursors[phys], float64(nd.Cfg.PacketBytes))
+						if ci > 0 {
+							tel.Count("virt.failovers", 1)
+							tel.Instant(phys, telemetry.PhaseFailover, cursors[phys], float64(ci))
+						}
+					}
 					woke = true
 					break
 				}
@@ -379,11 +440,23 @@ func Run(cfg Config) (Result, error) {
 					}
 					nd.Stats.Retransmits++
 					res.Retransmits++
+					telSpan(awakeIdx[hop], telemetry.PhaseRetry, cost.Time, float64(attempt))
 					return true
 				},
 			}
 		}
 		resOpts := mesh.DeliverOpts{}
+		if tel.Enabled() {
+			orphanTel := func(hop int) {
+				tel.Count("mesh.orphans", 1)
+				if hop >= 0 && hop < len(awakeIdx) {
+					phys := awakeIdx[hop]
+					tel.Instant(phys, telemetry.PhaseOrphan, cursors[phys], float64(hop))
+				}
+			}
+			rawOpts.OnOrphan = orphanTel
+			resOpts.OnOrphan = orphanTel
+		}
 
 		// Control-node real-time requests bypass the buffered strategy:
 		// the addressed node ships its fresh sample raw, immediately
@@ -398,7 +471,9 @@ func Run(cfg Config) (Result, error) {
 			}
 			cost := nd.TxRawCost()
 			if nd.Stored() >= cost.Energy && nd.Transmit(cost) {
-				if deliver(chain, li, link, rng, &res, rawPacket, rawOpts) {
+				tel.Count("sim.rt_requests", 1)
+				telSpan(awakeIdx[li], telemetry.PhaseTx, cost.Time, float64(nd.Cfg.PacketBytes))
+				if deliver(chain, li, link, rng, &res, rawPacket, rawOpts, tel) {
 					res.CloudProcessed++
 				}
 				queued[li]--
@@ -436,6 +511,15 @@ func Run(cfg Config) (Result, error) {
 		if err := validatePlan(plan, loads); err != nil {
 			return res, fmt.Errorf("sim: round %d: %w", round, err)
 		}
+		if tel.Enabled() {
+			moved := plan.TotalMoved()
+			tel.Span(n, telemetry.PhaseBalance, t0,
+				units.Millisecond*units.Duration(1+moved), float64(moved))
+			tel.Count("balance.rounds", 1)
+			if plan.RolledBack {
+				tel.Count("balance.rollbacks", 1)
+			}
+		}
 
 		// Charge the task movements: the sender transmits a raw packet to
 		// the receiver, the receiver pays RX. A sender that cannot afford
@@ -462,6 +546,7 @@ func Run(cfg Config) (Result, error) {
 					lost++
 					continue
 				}
+				telSpan(awakeIdx[from], telemetry.PhaseTx, cost.Time, float64(src.Cfg.PacketBytes))
 				delivered := link.Deliver(rng)
 				// Task transfers are single-hop sender→receiver; ARQ retries
 				// are charged to the sender under the same wake-reserve rule
@@ -473,6 +558,7 @@ func Run(cfg Config) (Result, error) {
 					}
 					src.Stats.Retransmits++
 					res.Retransmits++
+					telSpan(awakeIdx[from], telemetry.PhaseRetry, rc.Time, float64(attempt))
 					delivered = link.Deliver(rng)
 				}
 				if !delivered {
@@ -488,6 +574,7 @@ func Run(cfg Config) (Result, error) {
 					continue
 				}
 				res.Moves++
+				tel.Count("balance.moves", 1)
 			}
 			plan.Exec[to] -= unaffordable + lost
 			if plan.Exec[to] < 0 {
@@ -501,6 +588,11 @@ func Run(cfg Config) (Result, error) {
 			if nd == nil {
 				continue
 			}
+			phys := awakeIdx[li]
+			var fogT units.Duration
+			if tel.Enabled() {
+				_, fogT = nd.FogCost()
+			}
 			if plan.Exec[li] == 0 && queued[li] > 0 {
 				// Incidental computing (if enabled): scraps of energy go
 				// into partial progress on one buffered packet instead of
@@ -508,8 +600,14 @@ func Run(cfg Config) (Result, error) {
 				if nd.AdvanceFog(cfg.Slot) {
 					res.FogProcessed++
 					queued[li]--
-					if nd.Transmit(nd.TxResultCost()) {
-						deliver(chain, li, link, rng, &res, resultPacket, resOpts)
+					tel.Count("sim.incidental_fog", 1)
+					if tel.Enabled() {
+						tel.Instant(phys, telemetry.PhaseFog, cursors[phys], 1)
+					}
+					rc := nd.TxResultCost()
+					if nd.Transmit(rc) {
+						telSpan(phys, telemetry.PhaseTx, rc.Time, 0)
+						deliver(chain, li, link, rng, &res, resultPacket, resOpts, tel)
 					}
 				}
 			}
@@ -522,8 +620,17 @@ func Run(cfg Config) (Result, error) {
 				// Processing happened in the fog regardless of whether the
 				// small result packet survives its radio trip.
 				res.FogProcessed++
-				if nd.Transmit(nd.TxResultCost()) {
-					deliver(chain, li, link, rng, &res, resultPacket, resOpts)
+				if tel.Enabled() {
+					telSpan(phys, telemetry.PhaseFog, fogT, 1)
+					// The bridge kernel spends about a sixth of its cycle
+					// budget compressing the result (Table 2 proportions);
+					// render that tail as its own sub-span.
+					telSpan(phys, telemetry.PhaseCompress, fogT/6, 1)
+				}
+				rc := nd.TxResultCost()
+				if nd.Transmit(rc) {
+					telSpan(phys, telemetry.PhaseTx, rc.Time, 0)
+					deliver(chain, li, link, rng, &res, resultPacket, resOpts, tel)
 				}
 			}
 			// Tasks booked for execution that the node browned out of are
@@ -540,7 +647,9 @@ func Run(cfg Config) (Result, error) {
 					if nd.Stored() < cost.Energy || !nd.Transmit(cost) {
 						break
 					}
-					if deliver(chain, li, link, rng, &res, rawPacket, rawOpts) {
+					tel.Count("sim.cloud_shipped", 1)
+					telSpan(phys, telemetry.PhaseTx, cost.Time, float64(nd.Cfg.PacketBytes))
+					if deliver(chain, li, link, rng, &res, rawPacket, rawOpts, tel) {
 						res.CloudProcessed++
 					}
 					leftover--
@@ -567,6 +676,7 @@ func Run(cfg Config) (Result, error) {
 			if leftover > keep {
 				res.Dropped += leftover - keep
 				nd.Stats.Dropped += leftover - keep
+				tel.Count("sim.dropped", int64(leftover-keep))
 				leftover = keep
 			}
 			queued[li] = leftover
@@ -576,6 +686,24 @@ func Run(cfg Config) (Result, error) {
 			nd.EndSlot(cfg.Slot)
 		}
 		recordEnergy(&res, cfg.RecordEnergy, nodes)
+
+		// One timeline point per physical node per round, sampled at slot
+		// end after banking — the energy/backlog series the timeline CSV
+		// exports.
+		if tel.Enabled() {
+			tEnd := t0 + cfg.Slot
+			for i, nd := range nodes {
+				li := physLogical[i]
+				backlog := 0
+				isAwake := false
+				if li >= 0 {
+					backlog = queued[li]
+					isAwake = awake[li] != nil && awakeIdx[li] == i
+				}
+				tel.Sample(round, i, tEnd, nd.Stored(), backlog, isAwake)
+				tel.Observe("node.stored_mj", nd.Stored().Millijoules())
+			}
+		}
 
 		if cfg.Journal != nil {
 			entry := journalEntry{
@@ -619,7 +747,44 @@ func Run(cfg Config) (Result, error) {
 	if lease != nil {
 		res.BalanceRetries = lease.Retries
 	}
+	recordResult(tel, &res)
 	return res, nil
+}
+
+// recordResult dumps the run's aggregate counters into the telemetry
+// registry so the summary table mirrors the Result without recomputation.
+func recordResult(tel *telemetry.Recorder, res *Result) {
+	if !tel.Enabled() {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"result.wakeups", res.Wakeups},
+		{"result.wake_failures", res.WakeFailures},
+		{"result.samples", res.Samples},
+		{"result.fog_processed", res.FogProcessed},
+		{"result.cloud_processed", res.CloudProcessed},
+		{"result.dropped", res.Dropped},
+		{"result.lost_raw", res.LostRaw},
+		{"result.lost_results", res.LostResults},
+		{"result.orphan_lost", res.OrphanLost},
+		{"result.unexecuted", res.Unexecuted},
+		{"result.queued_end", res.QueuedEnd},
+		{"result.rejoins", res.Rejoins},
+		{"result.moves", res.Moves},
+		{"result.retransmits", res.Retransmits},
+		{"result.failover_slots", res.FailoverSlots},
+		{"result.balance_retries", res.BalanceRetries},
+		{"result.crashed_slots", res.CrashedSlots},
+		{"result.stuck_samples", res.StuckSamples},
+	} {
+		tel.Count(c.name, int64(c.v))
+	}
+	if res.IdealPackets > 0 {
+		tel.SetGauge("result.qos", float64(res.TotalProcessed())/float64(res.IdealPackets))
+	}
 }
 
 // validatePlan checks that a balancing plan — possibly produced under an
@@ -691,17 +856,20 @@ const (
 // ARQ policy (zero value = the classic single-shot delivery). A raw
 // packet abandoned at a dead span is additionally counted as OrphanLost —
 // the subset of LostRaw the recovery layer's route repair goes after.
-func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result, kind packetKind, opts mesh.DeliverOpts) bool {
+func deliver(chain *mesh.Chain, li int, link mesh.LinkModel, rng *rand.Rand, res *Result, kind packetKind, opts mesh.DeliverOpts, tel *telemetry.Recorder) bool {
 	d := chain.DeliverDetail(li, link, rng, opts)
+	tel.Observe("mesh.hops", float64(d.Hops))
 	if !d.OK {
 		res.LostInFlight++
 		if kind == rawPacket {
 			res.LostRaw++
+			tel.Count("mesh.lost_raw", 1)
 			if d.Orphaned {
 				res.OrphanLost++
 			}
 		} else {
 			res.LostResults++
+			tel.Count("mesh.lost_results", 1)
 		}
 	}
 	return d.OK

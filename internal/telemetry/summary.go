@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"neofog/internal/metrics"
+)
+
+// SummaryTable renders the metrics registry as the repo's standard text
+// table: counters, gauges and histograms in sorted name order, then the
+// trace/timeline volume. Safe on a nil recorder (an empty table).
+func (r *Recorder) SummaryTable() *metrics.Table {
+	t := metrics.NewTable("Telemetry summary", "Metric", "Kind", "Count", "Value")
+	if r == nil {
+		return t
+	}
+	for _, name := range r.CounterNames() {
+		t.AddRow(name, "counter", strconv.FormatInt(r.counters[name], 10), "")
+	}
+	for _, name := range r.GaugeNames() {
+		t.AddRow(name, "gauge", "", metrics.Ftoa(sanitizeValue(r.gauges[name]), 4))
+	}
+	for _, name := range r.HistNames() {
+		h := r.hists[name]
+		t.AddRow(name, "histogram", strconv.FormatInt(h.N, 10),
+			"mean "+metrics.Ftoa(sanitizeValue(h.Mean()), 3))
+	}
+	t.AddRow("trace.events", "trace", strconv.Itoa(len(r.events)), "")
+	t.AddRow("timeline.samples", "trace", strconv.Itoa(len(r.samples)), "")
+	return t
+}

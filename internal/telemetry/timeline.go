@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// timelineHeader is the CSV schema of the per-node timeline export: one
+// row per physical node per round, sampled at slot end.
+const timelineHeader = "chain,node,round,time_s,stored_mj,backlog,awake"
+
+// WriteTimelineCSV exports the recorded per-node energy & backlog timeline
+// as CSV. Rows appear in recording order (round-major within a chain,
+// chains in merge order), so the export is byte-identical across runs from
+// the same seed. Floats use the shortest round-trip representation.
+func (r *Recorder) WriteTimelineCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(timelineHeader)
+	b.WriteByte('\n')
+	if r != nil {
+		for _, s := range r.samples {
+			b.WriteString(strconv.Itoa(s.Chain))
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(s.Node))
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(s.Round))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(sanitizeValue(s.Time.Seconds()), 'g', -1, 64))
+			b.WriteByte(',')
+			b.WriteString(strconv.FormatFloat(sanitizeValue(s.Stored.Millijoules()), 'g', -1, 64))
+			b.WriteByte(',')
+			b.WriteString(strconv.Itoa(s.Backlog))
+			b.WriteByte(',')
+			if s.Awake {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+			b.WriteByte('\n')
+			if b.Len() >= 1<<16 {
+				if _, err := io.WriteString(w, b.String()); err != nil {
+					return err
+				}
+				b.Reset()
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

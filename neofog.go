@@ -137,6 +137,10 @@ type SimulationConfig struct {
 	// (round, awake count, fog/cloud/dropped deltas, LB moves, mean stored
 	// energy) for plotting and debugging.
 	Journal io.Writer
+	// Telemetry, when non-nil, records phase spans, counters and per-node
+	// energy/backlog timelines during the run (see NewTelemetry). Purely
+	// observational: results are bit-identical with or without it.
+	Telemetry *Telemetry
 	// Seed makes the run reproducible (default 1).
 	Seed int64
 }
@@ -227,6 +231,7 @@ func Simulate(cfg SimulationConfig) (SimulationResult, error) {
 		Link:           mesh.DefaultLink(),
 		Journal:        cfg.Journal,
 		Recovery:       sim.RecoveryConfig{Enabled: cfg.Recovery},
+		Telemetry:      cfg.Telemetry.recorder(),
 		Seed:           cfg.Seed,
 	}
 	if cfg.Multiplexing > 1 {
@@ -277,7 +282,10 @@ type FleetResult struct {
 // reproducible and each chain sees distinct traces. A Journal is
 // supported: each chain writes into a private buffer during the run and
 // the buffers are flushed to the configured writer in chain order, so the
-// journal reads exactly as if the chains had run serially.
+// journal reads exactly as if the chains had run serially. Telemetry is
+// handled the same way: each chain records into a private child collector
+// and the children are merged into cfg.Telemetry in chain order, so the
+// fleet's trace tags chain i as trace process i.
 func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 	if chains < 1 {
 		return FleetResult{}, fmt.Errorf("neofog: fleet needs ≥1 chain, got %d", chains)
@@ -291,6 +299,7 @@ func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 	results := make([]SimulationResult, chains)
 	errs := make([]error, chains)
 	journals := make([]*bytes.Buffer, chains)
+	recorders := make([]*Telemetry, chains)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i := 0; i < chains; i++ {
@@ -304,6 +313,10 @@ func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 			if cfg.Journal != nil {
 				journals[i] = &bytes.Buffer{}
 				c.Journal = journals[i]
+			}
+			if cfg.Telemetry != nil {
+				recorders[i] = NewTelemetry()
+				c.Telemetry = recorders[i]
 			}
 			results[i], errs[i] = Simulate(c)
 		}(i)
@@ -320,6 +333,11 @@ func SimulateFleet(cfg SimulationConfig, chains int) (FleetResult, error) {
 		}
 		if _, err := cfg.Journal.Write(buf.Bytes()); err != nil {
 			return FleetResult{}, fmt.Errorf("neofog: chain %d: flushing journal: %w", i, err)
+		}
+	}
+	for _, child := range recorders {
+		if child != nil {
+			cfg.Telemetry.recorder().MergeNext(child.rec)
 		}
 	}
 	out := FleetResult{PerChain: results}
@@ -520,6 +538,7 @@ func runExperimentTable(id string, opts ExperimentOptions) (*metrics.Table, erro
 		Rounds:           opts.Rounds,
 		FaultSeed:        opts.FaultSeed,
 		FaultIntensities: opts.FaultIntensities,
+		Telemetry:        opts.Telemetry.recorder(),
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -542,4 +561,8 @@ type ExperimentOptions struct {
 	// FaultIntensities overrides those campaigns' intensity sweep
 	// (non-decreasing in [0, 1], starting at 0).
 	FaultIntensities []float64
+	// Telemetry, when non-nil, collects telemetry from every simulation the
+	// experiment runs, one trace chain per run; results are bit-identical
+	// with or without it.
+	Telemetry *Telemetry
 }

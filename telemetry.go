@@ -1,0 +1,57 @@
+package neofog
+
+import (
+	"io"
+
+	"neofog/internal/telemetry"
+)
+
+// Telemetry collects a deployment's observability data: phase spans and
+// instants per physical node (keyed to RTC slot time), counters, gauges
+// and histograms, and a per-node energy/backlog timeline. Attach one to
+// SimulationConfig.Telemetry or ExperimentOptions.Telemetry, run, then
+// export.
+//
+// Telemetry observes, never perturbs: a run's results are bit-identical
+// with or without a recorder attached, and the nil default costs nothing.
+// Recording from the same seed twice yields byte-identical exports. A
+// Telemetry must not be shared across concurrently running simulations;
+// SimulateFleet and RunFleet handle that internally by giving each chain
+// a private child recorder and merging in chain order.
+type Telemetry struct {
+	rec *telemetry.Recorder
+}
+
+// NewTelemetry builds an empty collector.
+func NewTelemetry() *Telemetry { return &Telemetry{rec: telemetry.New()} }
+
+// recorder unwraps to the internal recorder; nil-safe, so a nil *Telemetry
+// behaves exactly like no telemetry at all.
+func (t *Telemetry) recorder() *telemetry.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// WriteTrace exports the recorded spans as Chrome trace-event JSON; the
+// file loads directly in chrome://tracing or https://ui.perfetto.dev.
+func (t *Telemetry) WriteTrace(w io.Writer) error {
+	return t.recorder().WriteChromeTrace(w)
+}
+
+// WriteTimeline exports the per-node energy & backlog timeline as CSV
+// (chain,node,round,time_s,stored_mj,backlog,awake).
+func (t *Telemetry) WriteTimeline(w io.Writer) error {
+	return t.recorder().WriteTimelineCSV(w)
+}
+
+// Summary renders the metrics registry as the repo's standard text table.
+func (t *Telemetry) Summary() string {
+	return t.recorder().SummaryTable().Format()
+}
+
+// Counter reads a named counter (0 if never written).
+func (t *Telemetry) Counter(name string) int64 {
+	return t.recorder().Counter(name)
+}

@@ -1,0 +1,119 @@
+package neofog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"neofog/internal/telemetry"
+)
+
+// TestTelemetryFacade checks the public wiring end to end: attaching a
+// Telemetry leaves the result bit-identical, fills the registry, and all
+// three exporters produce well-formed output.
+func TestTelemetryFacade(t *testing.T) {
+	cfg := SimulationConfig{Rounds: 120, Seed: 11}
+	bare, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry()
+	cfg.Telemetry = tel
+	traced, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare != traced {
+		t.Fatalf("telemetry perturbed the run:\nbare:   %+v\ntraced: %+v", bare, traced)
+	}
+	if got := tel.Counter("sim.wakeups"); got != int64(traced.Wakeups) {
+		t.Fatalf("sim.wakeups counter = %d, result says %d", got, traced.Wakeups)
+	}
+	if got := tel.Counter("result.fog_processed"); got != int64(traced.FogProcessed) {
+		t.Fatalf("result.fog_processed counter = %d, result says %d", got, traced.FogProcessed)
+	}
+
+	var trace, timeline bytes.Buffer
+	if err := tel.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTraceJSON(trace.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.WriteTimeline(&timeline); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(timeline.String(), "chain,node,round,time_s,stored_mj,backlog,awake\n") {
+		t.Fatalf("timeline header wrong: %q", timeline.String()[:60])
+	}
+	if sum := tel.Summary(); !strings.Contains(sum, "Telemetry summary") || !strings.Contains(sum, "sim.wakeups") {
+		t.Fatalf("summary incomplete:\n%s", sum)
+	}
+}
+
+// TestTelemetryFacadeNil pins the zero-cost default: a nil *Telemetry is a
+// valid no-op collector everywhere the facade accepts one.
+func TestTelemetryFacadeNil(t *testing.T) {
+	var tel *Telemetry
+	if tel.Counter("sim.wakeups") != 0 {
+		t.Fatal("nil counter not zero")
+	}
+	var buf bytes.Buffer
+	if err := tel.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTraceJSON(buf.Bytes()); err != nil {
+		t.Fatalf("nil trace export invalid: %v", err)
+	}
+	if err := tel.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if tel.Summary() == "" {
+		t.Fatal("nil summary empty")
+	}
+}
+
+// TestTelemetryFacadeFleet checks SimulateFleet merges per-chain child
+// recorders into the caller's Telemetry without changing the fleet result.
+func TestTelemetryFacadeFleet(t *testing.T) {
+	cfg := SimulationConfig{Rounds: 80, Seed: 4}
+	bare, err := SimulateFleet(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := NewTelemetry()
+	cfg.Telemetry = tel
+	traced, err := SimulateFleet(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Aggregate != traced.Aggregate {
+		t.Fatal("telemetry perturbed the fleet aggregate")
+	}
+	if got := tel.Counter("sim.wakeups"); got != int64(traced.Aggregate.Wakeups) {
+		t.Fatalf("merged sim.wakeups = %d, aggregate says %d", got, traced.Aggregate.Wakeups)
+	}
+	var trace bytes.Buffer
+	if err := tel.WriteTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateTraceJSON(trace.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTelemetryExperiment checks ExperimentOptions.Telemetry records across
+// every run an experiment performs.
+func TestTelemetryExperiment(t *testing.T) {
+	tel := NewTelemetry()
+	out, err := RunExperiment("fig9", ExperimentOptions{Seed: 1, Rounds: 60, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty experiment output")
+	}
+	if tel.Counter("sim.wakeups") == 0 {
+		t.Fatal("experiment recorded no wakeups")
+	}
+}
