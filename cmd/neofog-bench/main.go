@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	neofog-bench -runs 3 -out BENCH_PR3.json
-//	neofog-bench -short -baseline BENCH_PR3.json -ns-tolerance -1 -alloc-tolerance 0.25
+//	neofog-bench -runs 3 -out BENCH_PR4.json
+//	neofog-bench -short -baseline BENCH_PR4.json -ns-tolerance -1 -alloc-tolerance 0.1
 //	neofog-bench -bench Headline -benchtime 2x
+//	neofog-bench -out BENCH_PR4.json -compare BENCH_PR3.json   # before/after artifact
 package main
 
 import (
@@ -35,13 +36,15 @@ func run() error {
 	var (
 		runs         = flag.Int("runs", 3, "measurement runs per benchmark (the report records medians)")
 		benchtime    = flag.String("benchtime", "1x", "per-run benchmark time (Go benchtime syntax, e.g. 1x, 2s)")
-		out          = flag.String("out", "BENCH_PR3.json", "write the JSON report here ('' = stdout only)")
+		out          = flag.String("out", "BENCH_PR4.json", "write the JSON report here ('' = stdout only)")
 		filter       = flag.String("bench", "", "regexp selecting benchmark names (default: all)")
 		baselinePath = flag.String("baseline", "", "gate against this baseline report (may equal -out; it is read first)")
 		nsTol        = flag.Float64("ns-tolerance", 0.5, "allowed ns/op regression fraction over baseline; negative disables the wall-time gate")
 		allocTol     = flag.Float64("alloc-tolerance", 0.1, "allowed allocs/op regression fraction over baseline; negative disables")
 		short        = flag.Bool("short", false, "skip full-length cases (testing.Short)")
 		list         = flag.Bool("list", false, "list benchmark names and exit")
+		comparePath  = flag.String("compare", "", "print a before/after comparison against this report (no gate; pair with -baseline to also gate)")
+		parallel     = flag.Int("parallel", 0, "sweep worker-pool width passed to experiment cases: 0/1 serial, N up to N workers, -1 all CPUs")
 	)
 	flag.Parse()
 
@@ -59,6 +62,7 @@ func run() error {
 			return err
 		}
 	}
+	bench.ExperimentParallel = *parallel
 	var re *regexp.Regexp
 	if *filter != "" {
 		var err error
@@ -110,6 +114,14 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *comparePath != "" {
+		before, err := bench.ReadJSON(*comparePath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("comparison against %s:\n%s", *comparePath, bench.FormatComparison(rep, before))
 	}
 
 	if haveBaseline {

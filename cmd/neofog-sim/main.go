@@ -104,6 +104,7 @@ func run() error {
 		journal = flag.String("journal", "", "write a per-round JSONL journal to this file (custom runs)")
 		csvPath = flag.String("csv", "", "write experiment output as CSV to this file instead of text")
 		recover = flag.Bool("recover", false, "enable the self-healing layer (ARQ, clone failover, abort-safe balancing) in custom runs")
+		par     = flag.Int("parallel", 0, "worker-pool width for -exp sweeps: 0/1 serial, N up to N workers, -1 all CPUs; output is byte-identical at any width")
 		fseed   = flag.Int64("fault-seed", 0, "fault-plan seed for -exp chaos/resilience (0 = same as -seed)")
 		fints   = flag.String("fault-intensities", "", "comma-separated fault intensity sweep for -exp chaos/resilience, e.g. 0,0.5,1 (must start at 0, non-decreasing)")
 		tracef  = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
@@ -166,7 +167,7 @@ func run() error {
 		opts := neofog.ExperimentOptions{
 			Seed: *seed, Nodes: *nodes, Rounds: *rounds,
 			FaultSeed: *fseed, FaultIntensities: intensities,
-			Telemetry: tel,
+			Telemetry: tel, Parallel: *par,
 		}
 		if *csvPath != "" {
 			if len(ids) != 1 {

@@ -1,7 +1,7 @@
 // Package bench is the regression-bench harness behind cmd/neofog-bench
 // and the root package's Benchmark* functions: one registry of headline
 // benchmark cases, a median-of-N measurement runner built on
-// testing.Benchmark, a JSON report format (BENCH_PR3.json), and a
+// testing.Benchmark, a JSON report format (BENCH_PR4.json), and a
 // tolerance gate comparing a fresh report against a checked-in baseline.
 //
 // The root bench_test.go delegates every Benchmark* to a case here, so
@@ -27,11 +27,20 @@ type Case struct {
 	F    func(b *testing.B)
 }
 
+// ExperimentParallel is the worker-pool width every experiment-backed case
+// passes through to the sweep engine (cmd/neofog-bench -parallel). Outputs
+// are byte-identical at any width, so allocs/op and B/op stay comparable
+// across settings; ns/op reflects the parallel wall time, so reports gated
+// against a baseline should use the width the baseline was recorded at.
+var ExperimentParallel int
+
 func experimentCase(id string, rounds int) func(*testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			out, err := neofog.RunExperiment(id, neofog.ExperimentOptions{Seed: 1, Rounds: rounds})
+			out, err := neofog.RunExperiment(id, neofog.ExperimentOptions{
+				Seed: 1, Rounds: rounds, Parallel: ExperimentParallel,
+			})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -106,7 +115,7 @@ func Cases() []Case {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := experiments.Fig10Independent(experiments.Options{Seed: 1}); err != nil {
+				if _, _, err := experiments.Fig10Independent(experiments.Options{Seed: 1, Parallel: ExperimentParallel}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -183,7 +192,7 @@ func medianInt(v []int64) int64 {
 	return (v[m-1] + v[m]) / 2
 }
 
-// Report is the BENCH_PR3.json schema.
+// Report is the BENCH_PR4.json schema.
 type Report struct {
 	Runs      int           `json:"runs"`
 	Benchtime string        `json:"benchtime"`
@@ -208,6 +217,38 @@ func ReadJSON(path string) (Report, error) {
 		return Report{}, fmt.Errorf("bench: parsing %s: %w", path, err)
 	}
 	return rep, nil
+}
+
+// FormatComparison renders a before/after table of two reports for the
+// names present in both: ns/op, allocs/op, and B/op side by side with the
+// change ratio (current/baseline; lower is better). It is the human-facing
+// companion to Compare, used by `neofog-bench -compare` to publish a
+// PR-over-PR artifact.
+func FormatComparison(current, baseline Report) string {
+	base := map[string]Measurement{}
+	for _, m := range baseline.Results {
+		base[m.Name] = m
+	}
+	ratio := func(cur, b float64) string {
+		if b <= 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.2fx", cur/b)
+	}
+	out := fmt.Sprintf("%-18s %28s %26s %30s\n", "benchmark",
+		"ns/op (base -> cur)", "allocs/op (base -> cur)", "B/op (base -> cur)")
+	for _, cur := range current.Results {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		out += fmt.Sprintf("%-18s %10.0f -> %10.0f %s %10d -> %8d %s %12d -> %10d %s\n",
+			cur.Name,
+			b.NsPerOp, cur.NsPerOp, ratio(cur.NsPerOp, b.NsPerOp),
+			b.AllocsPerOp, cur.AllocsPerOp, ratio(float64(cur.AllocsPerOp), float64(b.AllocsPerOp)),
+			b.BytesPerOp, cur.BytesPerOp, ratio(float64(cur.BytesPerOp), float64(b.BytesPerOp)))
+	}
+	return out
 }
 
 // Compare gates current against baseline: a benchmark regresses when its

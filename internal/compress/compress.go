@@ -82,41 +82,50 @@ func Compress(data []byte, stride, order int) ([]byte, Stats) {
 		panic("compress: order must be 0–2")
 	}
 
+	st := encPool.Get().(*encState)
+	defer encPool.Put(st)
+
 	// For multi-byte records the byte planes are transposed first (all
 	// first bytes, then all second bytes, …): each plane of a smooth
 	// sample stream is itself smooth, and near-constant planes (sign/high
 	// bytes) collapse into long zero runs after the delta. The delta then
-	// runs at stride 1 within the plane-major layout.
+	// runs at stride 1 within the plane-major layout. The two scratch
+	// planes ping-pong so no delta pass reads the plane it writes.
 	work := data
 	if stride > 0 && order > 0 && len(data) > stride {
 		if stride > 1 {
-			work = transpose(data, stride)
+			work = st.transposeInto(data, stride)
 			inst += int64(len(data)) * instPerDeltaByte
 		}
-		work = deltaEncode(work, 1)
+		st.plane2 = deltaInto(st.plane2, work)
+		work = st.plane2
 		inst += int64(len(data)) * instPerDeltaByte
 		if order == 2 {
-			work = deltaEncode(work, 1)
+			st.plane1 = deltaInto(st.plane1, work)
+			work = st.plane1
 			inst += int64(len(data)) * instPerDeltaByte
 		}
 	} else {
 		stride, order = 0, 0
 	}
 
-	syms, extras := rleEncode(work)
+	syms, extras := st.rleInto(work)
 	inst += int64(len(work)) * instPerHistoByte
 
-	freq := make([]int, numSyms)
-	for _, s := range syms {
-		freq[s]++
+	for i := range st.freq {
+		st.freq[i] = 0
 	}
-	freq[eobSym]++
+	for _, s := range syms {
+		st.freq[s]++
+	}
+	st.freq[eobSym]++
 
-	lengths := buildCodeLengths(freq, 15)
-	codes := canonicalCodes(lengths)
+	lengths := st.buildCodeLengthsInto(15)
+	codes := canonicalCodesInto(st.codes, lengths)
 	inst += instTreeBuild
 
-	var bw bitWriter
+	st.bw.reset()
+	bw := &st.bw
 	ei := 0
 	for _, s := range syms {
 		bw.write(codes[s].bits, codes[s].n)
@@ -129,7 +138,7 @@ func Compress(data []byte, stride, order int) ([]byte, Stats) {
 	inst += int64(len(syms)+1) * instPerSymbol
 
 	body := bw.finish()
-	table := packLengths(lengths)
+	table := st.packLengthsInto(lengths)
 
 	// Header: magic(2) mode(1) stride|order<<4 (1) origLen(4).
 	out := make([]byte, 8, 8+len(table)+len(body))
@@ -181,15 +190,20 @@ func Decompress(blob []byte) ([]byte, Stats, error) {
 	if len(rest) < tableLen {
 		return nil, Stats{}, errors.New("compress: truncated code table")
 	}
-	lengths := unpackLengths(rest[:tableLen])
-	codes := canonicalCodes(lengths)
-	dec, err := newDecoder(lengths, codes)
+	ds := decPool.Get().(*decState)
+	defer decPool.Put(ds)
+	lengths := ds.unpackLengthsInto(rest[:tableLen])
+	codes := canonicalCodesInto(ds.codes, lengths)
+	dec, err := ds.resetDecoderInto(lengths, codes)
 	if err != nil {
 		return nil, Stats{}, err
 	}
 
 	br := bitReader{data: rest[tableLen:]}
-	work := make([]byte, 0, origLen)
+	if cap(ds.work) < origLen {
+		ds.work = make([]byte, 0, origLen)
+	}
+	work := ds.work[:0]
 	for {
 		s, bits, err := dec.next(&br)
 		inst += int64(bits) * instPerDecodeBit
@@ -212,6 +226,7 @@ func Decompress(blob []byte) ([]byte, Stats, error) {
 		}
 		work = append(work, byte(s))
 	}
+	ds.work = work // retain the grown buffer for the next call
 	if len(work) != origLen {
 		return nil, Stats{}, fmt.Errorf("compress: decoded %d bytes, want %d", len(work), origLen)
 	}
@@ -221,10 +236,15 @@ func Decompress(blob []byte) ([]byte, Stats, error) {
 		inst += int64(len(work)) * instPerUndeltaByte
 	}
 	if stride > 1 && order > 0 {
-		work = untranspose(work, stride)
+		// untranspose writes into a fresh slice, so the caller never sees
+		// pool memory.
+		out := untranspose(work, stride)
 		inst += int64(len(work)) * instPerUndeltaByte
+		return out, Stats{InBytes: len(blob), OutBytes: origLen, Instructions: inst}, nil
 	}
-	return work, Stats{InBytes: len(blob), OutBytes: origLen, Instructions: inst}, nil
+	out := make([]byte, len(work))
+	copy(out, work)
+	return out, Stats{InBytes: len(blob), OutBytes: origLen, Instructions: inst}, nil
 }
 
 // transpose reorders whole records into plane-major order: byte k of every

@@ -47,3 +47,39 @@ func FuzzCompressRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPooledCompress proves a recycled pool buffer never leaks bytes from a
+// previous packet: compressing B must produce the same blob whether the
+// pools are cold or freshly poisoned by compressing (and decompressing) an
+// arbitrary packet A, and B must still round-trip exactly.
+func FuzzPooledCompress(f *testing.F) {
+	f.Add([]byte("poison"), bytes.Repeat([]byte{7, 7, 0, 0}, 64), byte(4), byte(1))
+	f.Add(bytes.Repeat([]byte{0xFF}, 512), []byte{}, byte(0), byte(0))
+	f.Add(bytes.Repeat([]byte{1, 2}, 300), bytes.Repeat([]byte{0}, 300), byte(2), byte(2))
+
+	f.Fuzz(func(t *testing.T, poison, data []byte, stride, order byte) {
+		s := int(stride) % 16
+		o := int(order) % 3
+
+		want, _ := Compress(data, s, o)
+
+		// Drag the pooled scratch through an unrelated packet, including a
+		// decompression so the decoder-side pool is poisoned too.
+		pb, _ := Compress(poison, (s+3)%16, (o+1)%3)
+		if _, _, err := Decompress(pb); err != nil {
+			t.Fatalf("poison round trip: %v", err)
+		}
+
+		got, _ := Compress(data, s, o)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pooled output depends on pool history (stride %d, order %d)", s, o)
+		}
+		out, _, err := Decompress(got)
+		if err != nil {
+			t.Fatalf("round trip failed after pool reuse: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("recycled buffers leaked bytes into a %d-byte packet", len(data))
+		}
+	})
+}

@@ -166,6 +166,13 @@ func (w *bitWriter) write(bits uint32, n uint8) {
 	}
 }
 
+// reset prepares a recycled writer: the byte buffer keeps its capacity but
+// no bit of the previous stream survives.
+func (w *bitWriter) reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
 func (w *bitWriter) finish() []byte {
 	if w.nCur > 0 {
 		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))

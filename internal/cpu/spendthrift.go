@@ -58,12 +58,21 @@ func DefaultSpendthrift(base Config) *Spendthrift {
 	return NewSpendthrift(base, 0.5, 1, 2, 4, 8)
 }
 
-// Levels returns the operating points in ascending frequency order.
+// Levels returns the operating points in ascending frequency order. The
+// slice is a defensive copy; hot paths that iterate every round should use
+// NumLevels/Level instead, which read the policy without allocating.
 func (s *Spendthrift) Levels() []FreqLevel {
 	out := make([]FreqLevel, len(s.levels))
 	copy(out, s.levels)
 	return out
 }
+
+// NumLevels reports how many operating points the policy holds.
+func (s *Spendthrift) NumLevels() int { return len(s.levels) }
+
+// Level returns operating point i (ascending frequency order) without
+// copying the level table.
+func (s *Spendthrift) Level(i int) FreqLevel { return s.levels[i] }
 
 // Pick selects the highest operating point whose power the available income
 // can sustain; if even the lowest point exceeds the income, the lowest

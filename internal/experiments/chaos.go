@@ -31,6 +31,7 @@ func Chaos(opts Options) (*ChaosResult, error) {
 		Base:        systemConfig(node.FIOSNVMote, sched.Distributed{}, traces, opts),
 		Seed:        opts.FaultSeed,
 		Intensities: opts.FaultIntensities,
+		Parallel:    opts.Parallel,
 	}
 	rep, err := campaign.Run()
 	if err != nil {

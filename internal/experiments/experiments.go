@@ -43,6 +43,13 @@ type Options struct {
 	// experiment's trace reads as one chain per run. Results are
 	// bit-identical with or without it.
 	Telemetry *telemetry.Recorder
+	// Parallel is the worker-pool width for independent sweep points
+	// (systems × power profiles × fault intensities): 0 or 1 runs points
+	// serially (the default), N > 1 runs up to N concurrently, and a
+	// negative value uses every available CPU. The pool is bounded by
+	// GOMAXPROCS either way, mirroring sim.RunFleet. Every table, CSV, and
+	// golden is byte-identical at any width — results merge in input order.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -236,22 +243,33 @@ func systemConfig(kind node.SystemKind, bal sched.Balancer, traces []*energytrac
 	}
 }
 
+// systemPoint packages one system run as an independent sweep point. Each
+// underlying run records into its own child recorder; runSweep (or
+// runSystem for one-off calls) merges the child into the experiment's
+// recorder in input order, tagging the run as the next chain, so experiment
+// telemetry is as deterministic as the experiment itself. The point only
+// reads traces and any state the mut closure captures — sweeps sharing a
+// trace set across concurrent points rely on sim.Run never mutating it.
+func systemPoint(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.Sampled,
+	opts Options, mut func(*sim.Config)) sweepPoint {
+	return func() (sim.Result, *telemetry.Recorder, error) {
+		cfg := systemConfig(kind, bal, traces, opts)
+		if mut != nil {
+			mut(&cfg)
+		}
+		var child *telemetry.Recorder
+		if opts.Telemetry.Enabled() {
+			child = telemetry.New()
+			cfg.Telemetry = child
+		}
+		res, err := sim.Run(cfg)
+		return res, child, err
+	}
+}
+
 func runSystem(kind node.SystemKind, bal sched.Balancer, traces []*energytrace.Sampled,
 	opts Options, mut func(*sim.Config)) (sim.Result, error) {
-	cfg := systemConfig(kind, bal, traces, opts)
-	if mut != nil {
-		mut(&cfg)
-	}
-	// Each underlying run records into its own child recorder; the child is
-	// merged into the experiment's recorder only on success, tagging the run
-	// as the next chain. Merge order equals run order, so experiment
-	// telemetry is as deterministic as the experiment itself.
-	var child *telemetry.Recorder
-	if opts.Telemetry.Enabled() {
-		child = telemetry.New()
-		cfg.Telemetry = child
-	}
-	res, err := sim.Run(cfg)
+	res, child, err := systemPoint(kind, bal, traces, opts, mut)()
 	if err == nil {
 		opts.Telemetry.MergeNext(child)
 	}

@@ -60,14 +60,24 @@ func figPackets(title string, traceGen func(profile, nodes int, seed int64) []*e
 		"Profile", "System", "Wakeups", "Total processed", "Fog processed", "Cloud processed")
 	avgs := map[string]SystemAverages{}
 	const profiles = 5
+	// Trace generation stays serial and up front — the three systems of a
+	// profile share one read-only trace set, exactly as the serial sweep
+	// shared it. The 15 (profile, system) runs then fan out.
+	var points []sweepPoint
 	for p := 1; p <= profiles; p++ {
 		traces := traceGen(p, opts.Nodes, opts.Seed)
 		for _, s := range systems() {
-			r, err := runSystem(s.Kind, s.Bal, traces, opts, nil)
-			if err != nil {
-				return nil, nil, err
-			}
-			t.AddRow(metrics.Itoa(p), s.Name, metrics.Itoa(r.Wakeups),
+			points = append(points, systemPoint(s.Kind, s.Bal, traces, opts, nil))
+		}
+	}
+	results, err := runSweep(opts, points)
+	if err != nil {
+		return nil, nil, err
+	}
+	for pi := 0; pi < profiles; pi++ {
+		for si, s := range systems() {
+			r := results[pi*len(systems())+si]
+			t.AddRow(metrics.Itoa(pi+1), s.Name, metrics.Itoa(r.Wakeups),
 				metrics.Itoa(r.TotalProcessed()), metrics.Itoa(r.FogProcessed),
 				metrics.Itoa(r.CloudProcessed))
 			a := avgs[s.Name]
@@ -133,17 +143,25 @@ func Fig9StoredEnergy(opts Options) (*Fig9Result, error) {
 		Series:   map[string]map[int][]units.Energy{},
 		Overflow: map[string]units.Energy{},
 	}
+	// Each variant gets its own freshly generated (but identical, same-seed)
+	// trace set so no point writes state another reads; the three runs then
+	// fan out and merge in variant order.
+	var points []sweepPoint
 	for _, s := range lbVariants() {
 		traces := energytrace.DependentSet(cfg, opts.Nodes, 0.15, rand.New(rand.NewSource(opts.Seed)))
 		for i, tr := range traces {
 			traces[i] = tr.Scale(gains[i%len(gains)])
 		}
-		r, err := runSystem(s.Kind, s.Bal, traces, opts, func(c *sim.Config) {
+		points = append(points, systemPoint(s.Kind, s.Bal, traces, opts, func(c *sim.Config) {
 			c.RecordEnergy = record
-		})
-		if err != nil {
-			return nil, err
-		}
+		}))
+	}
+	results, err := runSweep(opts, points)
+	if err != nil {
+		return nil, err
+	}
+	for si, s := range lbVariants() {
+		r := results[si]
 		out.Series[s.Name] = r.EnergySeries
 		var systemOverflow units.Energy
 		for _, st := range r.PerNode {
@@ -187,19 +205,15 @@ func figMultiplex(title string, trace func(nodes int, seed int64) []*energytrace
 	opts = opts.withDefaults()
 	const kernel = 800 // insts/byte: slide-detection pipeline fits a VP slot
 	t := metrics.NewTable(title, "System", "Physical nodes", "Fog processed", "Samples")
-	var points []MultiplexPoint
 
 	light := func(c *sim.Config) { c.Node.FogInstsPerByte = kernel }
 
-	// VP reference.
+	// Point 0 is the VP reference; points 1..5 are NEOFog at rising clone
+	// multiplexing. Trace and clone-set generation stay serial so each
+	// point closes over finished, read-only inputs before the fan-out.
+	sweepPts := make([]sweepPoint, 0, 6)
 	vpTraces := trace(opts.Nodes, opts.Seed)
-	vp, err := runSystem(node.NOSVP, sched.NoBalance{}, vpTraces, opts, light)
-	if err != nil {
-		return nil, nil, err
-	}
-	t.AddRow("VP w/o LB", metrics.Itoa(opts.Nodes), metrics.Itoa(vp.FogProcessed), metrics.Itoa(samplesOf(vp)))
-	points = append(points, MultiplexPoint{Label: "VP w/o LB", Fog: vp.FogProcessed, Samples: samplesOf(vp)})
-
+	sweepPts = append(sweepPts, systemPoint(node.NOSVP, sched.NoBalance{}, vpTraces, opts, light))
 	for factor := 1; factor <= 5; factor++ {
 		physical := opts.Nodes * factor
 		traces := trace(physical, opts.Seed+int64(factor))
@@ -207,17 +221,27 @@ func figMultiplex(title string, trace func(nodes int, seed int64) []*energytrace
 		if err != nil {
 			return nil, nil, err
 		}
-		r, err := runSystem(node.FIOSNVMote, sched.Distributed{}, traces, opts, func(c *sim.Config) {
+		factor := factor
+		sweepPts = append(sweepPts, systemPoint(node.FIOSNVMote, sched.Distributed{}, traces, opts, func(c *sim.Config) {
 			light(c)
 			if factor > 1 {
 				c.CloneSets = sets
 			}
-		})
-		if err != nil {
-			return nil, nil, err
-		}
+		}))
+	}
+	results, err := runSweep(opts, sweepPts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var points []MultiplexPoint
+	vp := results[0]
+	t.AddRow("VP w/o LB", metrics.Itoa(opts.Nodes), metrics.Itoa(vp.FogProcessed), metrics.Itoa(samplesOf(vp)))
+	points = append(points, MultiplexPoint{Label: "VP w/o LB", Fog: vp.FogProcessed, Samples: samplesOf(vp)})
+	for factor := 1; factor <= 5; factor++ {
+		r := results[factor]
 		label := fmt.Sprintf("NEOFog %d00%%", factor)
-		t.AddRow(label, metrics.Itoa(physical), metrics.Itoa(r.FogProcessed), metrics.Itoa(samplesOf(r)))
+		t.AddRow(label, metrics.Itoa(opts.Nodes*factor), metrics.Itoa(r.FogProcessed), metrics.Itoa(samplesOf(r)))
 		points = append(points, MultiplexPoint{Label: label, Multiplexing: factor,
 			Fog: r.FogProcessed, Samples: samplesOf(r)})
 	}

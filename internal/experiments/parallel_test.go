@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"neofog/internal/metrics"
+	"neofog/internal/telemetry"
+)
+
+// harness adapts one figure experiment to a common (table, extras) shape so
+// the serial-vs-parallel A/B below can sweep every simulation-backed
+// harness in the package. extras carries the secondary outputs (averages,
+// points, series, campaign reports) that must also be identical.
+type abHarness struct {
+	name string
+	run  func(Options) (*metrics.Table, interface{}, error)
+}
+
+func abHarnesses() []abHarness {
+	return []abHarness{
+		{"fig9", func(o Options) (*metrics.Table, interface{}, error) {
+			r, err := Fig9StoredEnergy(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r, nil
+		}},
+		{"fig10", func(o Options) (*metrics.Table, interface{}, error) {
+			return Fig10Independent(o)
+		}},
+		{"fig11", func(o Options) (*metrics.Table, interface{}, error) {
+			return Fig11Dependent(o)
+		}},
+		{"fig12", func(o Options) (*metrics.Table, interface{}, error) {
+			return Fig12MultiplexHigh(o)
+		}},
+		{"fig13", func(o Options) (*metrics.Table, interface{}, error) {
+			return Fig13MultiplexLow(o)
+		}},
+		{"headline", func(o Options) (*metrics.Table, interface{}, error) {
+			r, err := Headline(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r, nil
+		}},
+		{"chaos", func(o Options) (*metrics.Table, interface{}, error) {
+			r, err := Chaos(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r.Report, nil
+		}},
+		{"resilience", func(o Options) (*metrics.Table, interface{}, error) {
+			r, err := Resilience(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			return r.Table, r.Report, nil
+		}},
+	}
+}
+
+func csvBytes(t *testing.T, tb *metrics.Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// telemetryBytes serializes everything a recorder can export, so two
+// recorders with identical bytes observed identical runs in identical
+// merge order.
+func telemetryBytes(t *testing.T, rec *telemetry.Recorder) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.WriteTimelineCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSweepMatchesSerial is the determinism proof for the sweep
+// engine: every simulation-backed experiment, run serially and at two pool
+// widths, must produce byte-identical tables, deeply equal secondary
+// outputs, and byte-identical telemetry. Running this test under -race (CI
+// does) additionally puts the fan-out itself — shared traces, clone sets,
+// and the per-point telemetry children — under the race detector.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	for _, h := range abHarnesses() {
+		h := h
+		t.Run(h.name, func(t *testing.T) {
+			t.Parallel()
+			serialOpts := Options{Seed: 1, Rounds: 300, Telemetry: telemetry.New()}
+			serialTable, serialExtra, err := h.run(serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serialCSV := csvBytes(t, serialTable)
+			serialTel := telemetryBytes(t, serialOpts.Telemetry)
+
+			for _, width := range []int{2, -1} {
+				parOpts := Options{Seed: 1, Rounds: 300, Parallel: width, Telemetry: telemetry.New()}
+				parTable, parExtra, err := h.run(parOpts)
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", width, err)
+				}
+				if got := csvBytes(t, parTable); !bytes.Equal(got, serialCSV) {
+					t.Errorf("parallel=%d: table diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+						width, serialCSV, got)
+				}
+				if !reflect.DeepEqual(parExtra, serialExtra) {
+					t.Errorf("parallel=%d: secondary outputs diverged from serial", width)
+				}
+				if got := telemetryBytes(t, parOpts.Telemetry); !bytes.Equal(got, serialTel) {
+					t.Errorf("parallel=%d: telemetry diverged from serial (merge order broken?)", width)
+				}
+			}
+		})
+	}
+}

@@ -42,6 +42,7 @@ func Resilience(opts Options) (*ResilienceResult, error) {
 		Base:        base,
 		Seed:        opts.FaultSeed,
 		Intensities: opts.FaultIntensities,
+		Parallel:    opts.Parallel,
 	}
 	rep, err := campaign.Run()
 	if err != nil {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"neofog/internal/metrics"
 	"neofog/internal/sim"
@@ -39,6 +41,58 @@ type Campaign struct {
 	// RecoveryFloor is the fraction of the baseline tail-window rates a
 	// faulted run must regain after its faults clear (default 0.7).
 	RecoveryFloor float64
+	// Parallel is the worker-pool width for the intensity points: 0 or 1
+	// runs them serially (the default), N > 1 runs up to N concurrently,
+	// and a negative value uses every available CPU (bounded by GOMAXPROCS
+	// either way). Every point is an independent simulation, so the report,
+	// the invariant verdicts, and which error surfaces are identical at any
+	// width — the cross-point checks always scan the points in input order.
+	Parallel int
+}
+
+// poolWidth resolves a Parallel knob to a bounded worker count, the same
+// way experiments.Options and sim.RunFleet bound their fan-out.
+func poolWidth(parallel int) int {
+	w := parallel
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runIndexed runs fn(i) for i in [0, n) with up to w concurrent workers.
+// Serially (w <= 1) it stops after the first index for which stop(i)
+// reports true, matching the historical early-abort loop; in parallel every
+// index runs and the caller's in-order scan discards results past the first
+// error, so the observable outcome is the same.
+func runIndexed(n, w int, fn func(int), stop func(int) bool) {
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			if stop(i) {
+				break
+			}
+		}
+		return
+	}
+	sem := make(chan struct{}, w)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
 }
 
 // Point is one intensity's outcome.
@@ -129,38 +183,23 @@ func (c Campaign) Run() (*Report, error) {
 		return nil, fmt.Errorf("faults: no recovery window left after round %d of %d", tailStart, rounds)
 	}
 
+	// Run phase: every intensity is an independent simulation against a
+	// shared read-only base, so the points fan out through the pool. All
+	// per-point work and per-point invariants live in runPoint; the
+	// cross-point invariants below always scan in input order, so verdicts
+	// and errors match the serial sweep exactly.
+	pts := make([]Point, len(c.Intensities))
+	errs := make([]error, len(c.Intensities))
+	runIndexed(len(c.Intensities), poolWidth(c.Parallel),
+		func(i int) { pts[i], errs[i] = c.runPoint(c.Intensities[i], tailStart, rounds) },
+		func(i int) bool { return errs[i] != nil })
+
 	rep := &Report{TailStart: tailStart}
-	for _, intensity := range c.Intensities {
-		plan, err := Generate(c.Seed, intensity, c.Gen)
-		if err != nil {
-			return nil, err
+	for i := range pts {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if last := plan.LastEnd(); last > tailStart {
-			return nil, fmt.Errorf("faults: plan at intensity %v runs to round %d, past the recovery window at %d",
-				intensity, last, tailStart)
-		}
-
-		cfg := c.Base
-		plan.Apply(&cfg)
-		journal := &bytes.Buffer{}
-		cfg.Journal = journal
-		res, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("faults: intensity %v: %w", intensity, err)
-		}
-
-		pt := Point{Intensity: intensity, Events: len(plan.Events), Plan: plan, Result: res}
-		pt.TailWakeRate, pt.TailProcRate, err = tailRates(journal.Bytes(), tailStart, rounds)
-		if err != nil {
-			return nil, fmt.Errorf("faults: intensity %v: %w", intensity, err)
-		}
-
-		// Invariant: exact packet-accounting conservation, faults or not.
-		if !res.Conserved() {
-			return nil, fmt.Errorf("faults: intensity %v breaks conservation: %d samples vs %d fog + %d cloud + %d dropped + %d lost + %d unexecuted + %d queued",
-				intensity, res.Samples, res.FogProcessed, res.CloudProcessed,
-				res.Dropped, res.LostRaw, res.Unexecuted, res.QueuedEnd)
-		}
+		pt := pts[i]
 		// Invariant: more faults never process more data. The slack covers
 		// RNG-stream jitter, never a real improvement.
 		if n := len(rep.Points); n > 0 {
@@ -169,9 +208,9 @@ func (c Campaign) Run() (*Report, error) {
 			if slack < 3 {
 				slack = 3
 			}
-			if float64(res.TotalProcessed()) > float64(prev.Result.TotalProcessed())+slack {
+			if float64(pt.Result.TotalProcessed()) > float64(prev.Result.TotalProcessed())+slack {
 				return nil, fmt.Errorf("faults: intensity %v processed %d packets, more than %d at intensity %v",
-					intensity, res.TotalProcessed(), prev.Result.TotalProcessed(), prev.Intensity)
+					pt.Intensity, pt.Result.TotalProcessed(), prev.Result.TotalProcessed(), prev.Intensity)
 			}
 		}
 		rep.Points = append(rep.Points, pt)
@@ -193,6 +232,44 @@ func (c Campaign) Run() (*Report, error) {
 
 	rep.Table = c.table(rep)
 	return rep, nil
+}
+
+// runPoint executes one intensity end to end: plan generation, the
+// simulation with a private journal, the tail-rate measurement, and the
+// per-point conservation invariant. It touches nothing shared beyond the
+// read-only base configuration, so points can run concurrently.
+func (c Campaign) runPoint(intensity float64, tailStart, rounds int) (Point, error) {
+	plan, err := Generate(c.Seed, intensity, c.Gen)
+	if err != nil {
+		return Point{}, err
+	}
+	if last := plan.LastEnd(); last > tailStart {
+		return Point{}, fmt.Errorf("faults: plan at intensity %v runs to round %d, past the recovery window at %d",
+			intensity, last, tailStart)
+	}
+
+	cfg := c.Base
+	plan.Apply(&cfg)
+	journal := &bytes.Buffer{}
+	cfg.Journal = journal
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return Point{}, fmt.Errorf("faults: intensity %v: %w", intensity, err)
+	}
+
+	pt := Point{Intensity: intensity, Events: len(plan.Events), Plan: plan, Result: res}
+	pt.TailWakeRate, pt.TailProcRate, err = tailRates(journal.Bytes(), tailStart, rounds)
+	if err != nil {
+		return Point{}, fmt.Errorf("faults: intensity %v: %w", intensity, err)
+	}
+
+	// Invariant: exact packet-accounting conservation, faults or not.
+	if !res.Conserved() {
+		return Point{}, fmt.Errorf("faults: intensity %v breaks conservation: %d samples vs %d fog + %d cloud + %d dropped + %d lost + %d unexecuted + %d queued",
+			intensity, res.Samples, res.FogProcessed, res.CloudProcessed,
+			res.Dropped, res.LostRaw, res.Unexecuted, res.QueuedEnd)
+	}
+	return pt, nil
 }
 
 // table renders the sweep as the chaos report.

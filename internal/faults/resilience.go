@@ -40,6 +40,11 @@ type ResilienceCampaign struct {
 	// strict-improvement invariant and the golden table carry the positive
 	// claim with no slack at all.
 	Tolerance float64
+	// Parallel is the worker-pool width for the intensity points, resolved
+	// exactly like Campaign.Parallel. Each point still runs its two arms
+	// concurrently, so up to 2×width simulations are in flight. Reports,
+	// invariant verdicts, and surfaced errors are identical at any width.
+	Parallel int
 }
 
 // ArmPoint is one intensity's paired outcome.
@@ -112,80 +117,28 @@ func (c ResilienceCampaign) Run() (*ResilienceReport, error) {
 		return nil, err
 	}
 
+	// Run phase: the paired points fan out through the pool (each still
+	// running its two arms concurrently); all per-point invariants live in
+	// runArmPoint. The scan below is in input order, so the cross-point
+	// strict-improvement verdict and which error surfaces match the serial
+	// sweep exactly.
+	pts := make([]ArmPoint, len(c.Intensities))
+	errs := make([]error, len(c.Intensities))
+	runIndexed(len(c.Intensities), poolWidth(c.Parallel),
+		func(i int) { pts[i], errs[i] = c.runArmPoint(c.Intensities[i]) },
+		func(i int) bool { return errs[i] != nil })
+
 	rep := &ResilienceReport{}
 	strict := false
-	for _, intensity := range c.Intensities {
-		plan, err := Generate(c.Seed, intensity, c.Gen)
-		if err != nil {
-			return nil, err
+	for i := range pts {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-
-		offCfg, onCfg := c.Base, c.Base
-		plan.Apply(&offCfg)
-		plan.Apply(&onCfg)
-		onCfg.Recovery = c.Recovery
-		// Recovery only arms against actual adversity: with an empty plan
-		// the on arm is the identical control run, which anchors the A/B.
-		onCfg.Recovery.Enabled = len(plan.Events) > 0
-
-		// The two arms are independent simulations; running them
-		// concurrently halves the sweep and puts the recovery path under
-		// the race detector whenever the campaign runs with -race.
-		var off, on sim.Result
-		var offErr, onErr error
-		var wg sync.WaitGroup
-		wg.Add(2)
-		go func() { defer wg.Done(); off, offErr = sim.Run(offCfg) }()
-		go func() { defer wg.Done(); on, onErr = sim.Run(onCfg) }()
-		wg.Wait()
-		if offErr != nil {
-			return nil, fmt.Errorf("faults: intensity %v (recovery off): %w", intensity, offErr)
-		}
-		if onErr != nil {
-			return nil, fmt.Errorf("faults: intensity %v (recovery on): %w", intensity, onErr)
-		}
-
-		// Invariant: conservation holds exactly in both arms.
-		for _, arm := range []struct {
-			name string
-			r    sim.Result
-		}{{"off", off}, {"on", on}} {
-			if !arm.r.Conserved() {
-				return nil, fmt.Errorf("faults: intensity %v (recovery %s) breaks conservation: %d samples vs %d fog + %d cloud + %d dropped + %d lost + %d unexecuted + %d queued",
-					intensity, arm.name, arm.r.Samples, arm.r.FogProcessed, arm.r.CloudProcessed,
-					arm.r.Dropped, arm.r.LostRaw, arm.r.Unexecuted, arm.r.QueuedEnd)
-			}
-		}
-		// Invariant: the off arm must never exercise the recovery path.
-		if off.Retransmits != 0 || off.FailoverSlots != 0 || off.BalanceRetries != 0 {
-			return nil, fmt.Errorf("faults: intensity %v: recovery counters active in the off arm: %d retransmits, %d failovers, %d balance retries",
-				intensity, off.Retransmits, off.FailoverSlots, off.BalanceRetries)
-		}
-		// Invariant: with no events the arms are the same run, bit for bit.
-		if len(plan.Events) == 0 && !reflect.DeepEqual(off, on) {
-			return nil, fmt.Errorf("faults: intensity %v: zero-event arms diverged:\noff: %+v\non:  %+v", intensity, off, on)
-		}
-		// Invariant: recovery weakly dominates on delivered packets and on
-		// fog tasks at every intensity (modulo RNG-jitter slack).
-		slack := func(off int) float64 {
-			s := c.Tolerance * float64(off)
-			if s < 3 {
-				s = 3
-			}
-			return s
-		}
-		if float64(on.TotalProcessed()) < float64(off.TotalProcessed())-slack(off.TotalProcessed()) {
-			return nil, fmt.Errorf("faults: intensity %v: recovery lost packets: %d on vs %d off",
-				intensity, on.TotalProcessed(), off.TotalProcessed())
-		}
-		if float64(on.FogProcessed) < float64(off.FogProcessed)-slack(off.FogProcessed) {
-			return nil, fmt.Errorf("faults: intensity %v: recovery lost fog tasks: %d on vs %d off",
-				intensity, on.FogProcessed, off.FogProcessed)
-		}
-		if intensity > 0 && on.TotalProcessed() > off.TotalProcessed() {
+		pt := pts[i]
+		if pt.Intensity > 0 && pt.On.TotalProcessed() > pt.Off.TotalProcessed() {
 			strict = true
 		}
-		rep.Points = append(rep.Points, ArmPoint{Intensity: intensity, Events: len(plan.Events), Off: off, On: on})
+		rep.Points = append(rep.Points, pt)
 	}
 
 	// Invariant: somewhere in the sweep recovery must actually help, or
@@ -204,6 +157,80 @@ func (c ResilienceCampaign) Run() (*ResilienceReport, error) {
 
 	rep.Table = c.table(rep)
 	return rep, nil
+}
+
+// runArmPoint executes one intensity's A/B pair and its per-point
+// invariants. It reads only the immutable campaign fields, so points can
+// run concurrently.
+func (c ResilienceCampaign) runArmPoint(intensity float64) (ArmPoint, error) {
+	plan, err := Generate(c.Seed, intensity, c.Gen)
+	if err != nil {
+		return ArmPoint{}, err
+	}
+
+	offCfg, onCfg := c.Base, c.Base
+	plan.Apply(&offCfg)
+	plan.Apply(&onCfg)
+	onCfg.Recovery = c.Recovery
+	// Recovery only arms against actual adversity: with an empty plan
+	// the on arm is the identical control run, which anchors the A/B.
+	onCfg.Recovery.Enabled = len(plan.Events) > 0
+
+	// The two arms are independent simulations; running them
+	// concurrently halves the sweep and puts the recovery path under
+	// the race detector whenever the campaign runs with -race.
+	var off, on sim.Result
+	var offErr, onErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); off, offErr = sim.Run(offCfg) }()
+	go func() { defer wg.Done(); on, onErr = sim.Run(onCfg) }()
+	wg.Wait()
+	if offErr != nil {
+		return ArmPoint{}, fmt.Errorf("faults: intensity %v (recovery off): %w", intensity, offErr)
+	}
+	if onErr != nil {
+		return ArmPoint{}, fmt.Errorf("faults: intensity %v (recovery on): %w", intensity, onErr)
+	}
+
+	// Invariant: conservation holds exactly in both arms.
+	for _, arm := range []struct {
+		name string
+		r    sim.Result
+	}{{"off", off}, {"on", on}} {
+		if !arm.r.Conserved() {
+			return ArmPoint{}, fmt.Errorf("faults: intensity %v (recovery %s) breaks conservation: %d samples vs %d fog + %d cloud + %d dropped + %d lost + %d unexecuted + %d queued",
+				intensity, arm.name, arm.r.Samples, arm.r.FogProcessed, arm.r.CloudProcessed,
+				arm.r.Dropped, arm.r.LostRaw, arm.r.Unexecuted, arm.r.QueuedEnd)
+		}
+	}
+	// Invariant: the off arm must never exercise the recovery path.
+	if off.Retransmits != 0 || off.FailoverSlots != 0 || off.BalanceRetries != 0 {
+		return ArmPoint{}, fmt.Errorf("faults: intensity %v: recovery counters active in the off arm: %d retransmits, %d failovers, %d balance retries",
+			intensity, off.Retransmits, off.FailoverSlots, off.BalanceRetries)
+	}
+	// Invariant: with no events the arms are the same run, bit for bit.
+	if len(plan.Events) == 0 && !reflect.DeepEqual(off, on) {
+		return ArmPoint{}, fmt.Errorf("faults: intensity %v: zero-event arms diverged:\noff: %+v\non:  %+v", intensity, off, on)
+	}
+	// Invariant: recovery weakly dominates on delivered packets and on
+	// fog tasks at every intensity (modulo RNG-jitter slack).
+	slack := func(off int) float64 {
+		s := c.Tolerance * float64(off)
+		if s < 3 {
+			s = 3
+		}
+		return s
+	}
+	if float64(on.TotalProcessed()) < float64(off.TotalProcessed())-slack(off.TotalProcessed()) {
+		return ArmPoint{}, fmt.Errorf("faults: intensity %v: recovery lost packets: %d on vs %d off",
+			intensity, on.TotalProcessed(), off.TotalProcessed())
+	}
+	if float64(on.FogProcessed) < float64(off.FogProcessed)-slack(off.FogProcessed) {
+		return ArmPoint{}, fmt.Errorf("faults: intensity %v: recovery lost fog tasks: %d on vs %d off",
+			intensity, on.FogProcessed, off.FogProcessed)
+	}
+	return ArmPoint{Intensity: intensity, Events: len(plan.Events), Off: off, On: on}, nil
 }
 
 // table renders the paired sweep as the resilience A/B report.

@@ -35,7 +35,7 @@ func (n *Node) AdvanceFog(slot units.Duration) (completed bool) {
 	// Most efficient operating point: the lowest level (the deadline
 	// pressure that forces expensive levels does not apply to incidental
 	// progress).
-	lvl := n.Spend.Levels()[0]
+	lvl := n.Spend.Level(0)
 	instTime, instEnergy := n.Spend.Exec(1, lvl)
 	if instTime <= 0 || instEnergy <= 0 {
 		return false
@@ -78,6 +78,6 @@ func (n *Node) AdvanceFog(slot units.Duration) (completed bool) {
 		return false
 	}
 	n.Stats.FogProcessed++
-	n.Buffer.Pop(n.Cfg.PacketBytes)
+	n.Buffer.Discard(n.Cfg.PacketBytes)
 	return true
 }

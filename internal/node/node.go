@@ -321,8 +321,10 @@ func (n *Node) TryWake() bool {
 	n.Stats.Wakeups++
 	n.Stats.Samples++
 	if n.Cfg.Kind != NOSVP {
-		rec := make([]byte, n.Cfg.PacketBytes)
-		n.Buffer.Push(rec)
+		// The simulator models payload sizes, not payload contents: the
+		// sampled record is a blank block, pushed without materialising a
+		// per-wake byte slice.
+		n.Buffer.PushBlank(n.Cfg.PacketBytes)
 	}
 	return true
 }
@@ -360,8 +362,8 @@ func (n *Node) FogPlan(slot units.Duration, reserve units.Energy) (e units.Energ
 	}
 
 	bestE, bestT, bestK := units.Energy(0), units.Duration(0), -1
-	for _, l := range n.Spend.Levels() {
-		lt, le := n.Spend.Exec(insts, l)
+	for i := 0; i < n.Spend.NumLevels(); i++ {
+		lt, le := n.Spend.Exec(insts, n.Spend.Level(i))
 		if lt > slot {
 			continue
 		}
@@ -373,8 +375,7 @@ func (n *Node) FogPlan(slot units.Duration, reserve units.Energy) (e units.Energ
 	if bestK < 0 {
 		// No level fits the slot at all: report the fastest level with
 		// zero capacity so callers can still price the work.
-		levels := n.Spend.Levels()
-		top := levels[len(levels)-1]
+		top := n.Spend.Level(n.Spend.NumLevels() - 1)
 		t, e = n.Spend.Exec(insts, top)
 		return e, t, 0
 	}
@@ -409,8 +410,7 @@ func (n *Node) FogFeasible() bool {
 		t, _ := n.Cfg.Core.Exec(insts)
 		return t <= n.Cfg.FogDeadline
 	}
-	levels := n.Spend.Levels()
-	t, _ := n.Spend.Exec(insts, levels[len(levels)-1])
+	t, _ := n.Spend.Exec(insts, n.Spend.Level(n.Spend.NumLevels()-1))
 	return t <= n.Cfg.FogDeadline
 }
 
@@ -454,7 +454,7 @@ func (n *Node) ProcessFog() bool {
 	}
 	if ok {
 		n.Stats.FogProcessed++
-		n.Buffer.Pop(n.Cfg.PacketBytes)
+		n.Buffer.Discard(n.Cfg.PacketBytes)
 	} else {
 		n.Stats.Dropped++
 	}

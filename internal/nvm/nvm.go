@@ -126,6 +126,35 @@ func (f *FIFO) Push(rec []byte) bool {
 	return true
 }
 
+// PushBlank appends one n-byte all-zero record atomically, without the
+// caller materialising a source slice — the zero-allocation twin of
+// Push(make([]byte, n)). Drop accounting is identical to Push.
+func (f *FIFO) PushBlank(n int) bool {
+	if n < 0 {
+		panic("nvm: negative blank record")
+	}
+	if n > f.Free() {
+		f.dropped++
+		return false
+	}
+	tail := (f.head + f.size) % len(f.buf)
+	m := n
+	if tail+m > len(f.buf) {
+		m = len(f.buf) - tail
+	}
+	zero(f.buf[tail : tail+m])
+	zero(f.buf[:n-m])
+	f.size += n
+	f.pushed++
+	return true
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
 // Pop removes and returns up to n oldest bytes.
 func (f *FIFO) Pop(n int) []byte {
 	if n < 0 {
@@ -140,6 +169,21 @@ func (f *FIFO) Pop(n int) []byte {
 	f.head = (f.head + n) % len(f.buf)
 	f.size -= n
 	return out
+}
+
+// Discard removes up to n oldest bytes without copying them out — the
+// zero-allocation form of Pop for callers that only retire buffered data.
+// It returns the number of bytes removed.
+func (f *FIFO) Discard(n int) int {
+	if n < 0 {
+		panic("nvm: negative discard")
+	}
+	if n > f.size {
+		n = f.size
+	}
+	f.head = (f.head + n) % len(f.buf)
+	f.size -= n
+	return n
 }
 
 // Clear discards all buffered bytes without counting them as drops.

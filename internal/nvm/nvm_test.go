@@ -189,3 +189,100 @@ func TestFIFOInterleavedProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: PushBlank(n) is observationally identical to Push(make([]byte, n))
+// — same accept/drop decisions, same accounting, and every byte popped later
+// is zero even when the ring has wrapped through stale nonzero data.
+func TestFIFOPushBlankEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewFIFO(16) // Push(make([]byte, n))
+		b := NewFIFO(16) // PushBlank(n)
+		// Poison both rings with nonzero data first so PushBlank must
+		// actively zero recycled bytes, then drain.
+		poison := []byte{0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88}
+		a.Push(poison)
+		b.Push(poison)
+		a.Pop(len(poison))
+		b.Pop(len(poison))
+		for _, op := range ops {
+			if op%2 == 0 {
+				n := int(op % 7)
+				if a.Push(make([]byte, n)) != b.PushBlank(n) {
+					return false
+				}
+			} else {
+				n := int(op % 9)
+				ga, gb := a.Pop(n), b.Pop(n)
+				if !bytes.Equal(ga, gb) {
+					return false
+				}
+				for _, c := range gb {
+					if c != 0 {
+						return false
+					}
+				}
+			}
+			if a.Len() != b.Len() || a.Dropped() != b.Dropped() || a.Pushed() != b.Pushed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Discard(n) leaves the FIFO in the same state as Pop(n), it just
+// skips materialising the bytes.
+func TestFIFODiscardEquivalence(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewFIFO(16) // Pop
+		b := NewFIFO(16) // Discard
+		next := byte(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				n := int(op%5) + 1
+				rec := make([]byte, n)
+				for i := range rec {
+					rec[i] = next
+					next++
+				}
+				if a.Push(rec) != b.Push(rec) {
+					return false
+				}
+			} else {
+				n := int(op % 7)
+				got := a.Pop(n)
+				if b.Discard(n) != len(got) {
+					return false
+				}
+			}
+			if a.Len() != b.Len() || a.Free() != b.Free() {
+				return false
+			}
+			// The surviving contents must agree: drain copies and refill.
+			sa, sb := a.Pop(a.Len()), b.Pop(b.Len())
+			if !bytes.Equal(sa, sb) {
+				return false
+			}
+			a.Push(sa)
+			b.Push(sb)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPushBlankZeroAlloc(t *testing.T) {
+	f := NewFIFO(64)
+	allocs := testing.AllocsPerRun(100, func() {
+		f.PushBlank(8)
+		f.Discard(8)
+	})
+	if allocs != 0 {
+		t.Fatalf("PushBlank+Discard allocs = %v, want 0", allocs)
+	}
+}

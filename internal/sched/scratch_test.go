@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomLoads builds a chain of up to 24 nodes with varied aliveness,
+// backlog, capacity, and speed.
+func randomLoads(rng *rand.Rand) []NodeLoad {
+	n := rng.Intn(24) + 1
+	nodes := make([]NodeLoad, n)
+	for i := range nodes {
+		nodes[i] = NodeLoad{
+			Alive:        rng.Intn(4) != 0,
+			Tasks:        rng.Intn(8),
+			Capacity:     rng.Intn(6),
+			TicksPerTask: rng.Intn(5), // includes 0 to exercise the floor
+		}
+	}
+	return nodes
+}
+
+// TestPlanScratchMatchesPlan is the scratch contract: for every balancer,
+// PlanScratch with a reused scratch must return exactly the plan Plan
+// returns — same RNG draws, same moves, same counters — across many rounds,
+// including rounds with interruption.
+func TestPlanScratchMatchesPlan(t *testing.T) {
+	balancers := []func() Balancer{
+		func() Balancer { return NoBalance{} },
+		func() Balancer { return Distributed{} },
+		func() Balancer { return Distributed{MaxRounds: 1} },
+		func() Balancer { return BaselineTree{} },
+		func() Balancer { return &Lease{Inner: Distributed{}} },
+		func() Balancer { return &Lease{Inner: BaselineTree{}} },
+	}
+	for _, mk := range balancers {
+		serial, scratched := mk(), mk()
+		name := serial.Name()
+		t.Run(name, func(t *testing.T) {
+			gen := rand.New(rand.NewSource(42))
+			rngA := rand.New(rand.NewSource(7))
+			rngB := rand.New(rand.NewSource(7))
+			var s Scratch
+			for round := 0; round < 300; round++ {
+				nodes := randomLoads(gen)
+				maxTime := gen.Intn(4000) + 1
+				var interruption float64
+				switch gen.Intn(4) {
+				case 0:
+					interruption = 0
+				case 1:
+					interruption = gen.Float64()
+				case 2:
+					interruption = 1 // forces Lease rollback
+				case 3:
+					interruption = 0.3
+				}
+				want := serial.Plan(nodes, maxTime, interruption, rngA)
+				got := PlanWith(scratched, &s, nodes, maxTime, interruption, rngB)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("round %d (maxTime=%d intr=%v):\nPlan        = %+v\nPlanScratch = %+v",
+						round, maxTime, interruption, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestAssignIntoMatchesAssign checks the flat reusable DP against the
+// reference 2-D implementation on random instances, reusing one scratch so
+// stale-table bugs would surface.
+func TestAssignIntoMatchesAssign(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var s Scratch
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(12)
+		a := make([]int, n)
+		b := make([]int, n)
+		for k := 0; k < n; k++ {
+			a[k] = rng.Intn(20) + 1
+			b[k] = rng.Intn(20) + 1
+		}
+		maxTime := rng.Intn(200) + 1
+		wantSides, wantTime, wantErr := Assign(a, b, maxTime)
+		gotSides, gotTime, gotErr := assignInto(&s, a, b, maxTime)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("trial %d: err mismatch %v vs %v", trial, wantErr, gotErr)
+		}
+		if wantTime != gotTime {
+			t.Fatalf("trial %d: makespan %d vs %d", trial, wantTime, gotTime)
+		}
+		if len(wantSides) != len(gotSides) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(wantSides), len(gotSides))
+		}
+		for k := range wantSides {
+			if wantSides[k] != gotSides[k] {
+				t.Fatalf("trial %d task %d: %v vs %v", trial, k, wantSides[k], gotSides[k])
+			}
+		}
+	}
+}
+
+// TestPlanScratchSteadyStateAllocs pins the scratch fast path's per-round
+// allocation budget. basePlan's Exec/Leftover (the plan's caller-owned
+// result) and Move appends are the only remaining sources, so the budget is
+// small and any regression in the scratch plumbing trips it.
+func TestPlanScratchSteadyStateAllocs(t *testing.T) {
+	nodes := []NodeLoad{
+		{Alive: true, Tasks: 6, Capacity: 2, TicksPerTask: 2},
+		{Alive: true, Tasks: 0, Capacity: 4, TicksPerTask: 1},
+		{Alive: true, Tasks: 5, Capacity: 1, TicksPerTask: 3},
+		{Alive: true, Tasks: 0, Capacity: 5, TicksPerTask: 1},
+	}
+	bal := Distributed{}
+	var s Scratch
+	rng := rand.New(rand.NewSource(1))
+	// Warm the scratch to high-water size.
+	PlanWith(bal, &s, nodes, 4000, 0, rng)
+	allocs := testing.AllocsPerRun(200, func() {
+		PlanWith(bal, &s, nodes, 4000, 0, rng)
+	})
+	// Budget: Exec + Leftover in basePlan, plus Moves growth (≤3 appends).
+	if allocs > 6 {
+		t.Fatalf("PlanScratch steady-state allocs = %v, want ≤ 6", allocs)
+	}
+}

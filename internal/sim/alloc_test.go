@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"neofog/internal/apps"
+	"neofog/internal/energytrace"
+	"neofog/internal/mesh"
+	"neofog/internal/node"
+	"neofog/internal/sched"
+	"neofog/internal/units"
+)
+
+// allocConfig is the Fig. 10-shaped deployment the steady-state allocation
+// budget is pinned against (telemetry off, journal off).
+func allocConfig(rounds int) Config {
+	cfg := energytrace.SunnyDay()
+	cfg.Peak = units.Power(0.8)
+	traces := energytrace.IndependentSet(cfg, 10, 5*units.Minute, rand.New(rand.NewSource(3)))
+	return Config{
+		Node:           node.DefaultConfig(node.FIOSNVMote, apps.BridgeHealth()),
+		Traces:         traces,
+		Slot:           12 * units.Second,
+		Rounds:         rounds,
+		Balancer:       sched.Distributed{},
+		LBInterruption: 0.02,
+		Link:           mesh.DefaultLink(),
+		Seed:           7,
+	}
+}
+
+// TestRunAllocBudget pins sim.Run's allocation budget with telemetry off.
+//
+// Budget accounting — fixed setup (one-time, any round count): the nodes,
+// their buffers and traces' cursors, the run arena, and the Result maps;
+// measured ~210, budgeted 600. Marginal per round: the caller-owned
+// Plan.Exec/Plan.Leftover pair from basePlan (the scratch planner contract
+// keeps those two fresh — the Plan outlives the round) plus occasional
+// Moves appends and packet buffers absorbed by the pools; measured ~2.0,
+// budgeted 4. Before the scratch arena this path sat near 190 allocs per
+// round (wake lists, load vectors, DP tables, heap nodes), so the budget
+// fails loudly on any arena or pool regression.
+func TestRunAllocBudget(t *testing.T) {
+	short, long := 100, 400
+	cfgShort, cfgLong := allocConfig(short), allocConfig(long)
+	measure := func(cfg Config) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	aShort, aLong := measure(cfgShort), measure(cfgLong)
+	marginal := (aLong - aShort) / float64(long-short)
+	if marginal > 4 {
+		t.Errorf("marginal allocations = %.2f per round, want <= 4", marginal)
+	}
+	fixed := aShort - marginal*float64(short)
+	if fixed > 600 {
+		t.Errorf("fixed setup allocations = %.0f, want <= 600", fixed)
+	}
+	t.Logf("allocs: %.0f @ %d rounds, %.0f @ %d rounds (%.2f/round marginal, %.0f fixed)",
+		aShort, short, aLong, long, marginal, fixed)
+}

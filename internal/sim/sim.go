@@ -308,6 +308,63 @@ func Run(cfg Config) (Result, error) {
 	queued := make([]int, len(logical)) // packets awaiting fog processing per logical slot owner
 	var prevFog, prevCloud, prevDropped, prevMoves int
 
+	// Scratch arena: round-invariant buffers allocated once, reused every
+	// slot (see runArena for the reset rules each buffer follows).
+	ar := newArena(len(logical))
+	awake, awakeIdx := ar.awake, ar.awakeIdx
+	var journalEnc *json.Encoder
+	if cfg.Journal != nil {
+		journalEnc = json.NewEncoder(cfg.Journal)
+	}
+
+	// ARQ delivery options. Retries are charged to the relaying node (ACK
+	// receive + idle-power backoff + retransmission) and refused whenever
+	// paying would eat into the relay's wake reserve for the next slot — a
+	// retransmission that costs a future sample is a net loss. Only raw
+	// packets are protected: a lost result beacon costs nothing from the
+	// ledger (the fog work already counted), so ACKing it would be pure
+	// overhead. The closures read the arena's awake/awakeIdx buffers, which
+	// always hold the current round's state, so one set serves every round.
+	rawOpts := mesh.DeliverOpts{}
+	if rec.Enabled && retrySched.Len() > 0 {
+		rawOpts = mesh.DeliverOpts{
+			Retries:     retrySched.Len(),
+			RepairRoute: true,
+			PayRetry: func(hop, attempt int) bool {
+				if hop < 0 || hop >= len(awake) || attempt > retrySched.Len() {
+					return false
+				}
+				nd := awake[hop]
+				if nd == nil || nd.RFFailed() {
+					return false
+				}
+				cost := nd.RetryCost(nd.TxRawCost(), retrySched.Wait(attempt))
+				if nd.Stored() < cost.Energy+nd.WakeCost() {
+					return false
+				}
+				if !nd.Transmit(cost) {
+					return false
+				}
+				nd.Stats.Retransmits++
+				res.Retransmits++
+				telSpan(awakeIdx[hop], telemetry.PhaseRetry, cost.Time, float64(attempt))
+				return true
+			},
+		}
+	}
+	resOpts := mesh.DeliverOpts{}
+	if tel.Enabled() {
+		orphanTel := func(hop int) {
+			tel.Count("mesh.orphans", 1)
+			if hop >= 0 && hop < len(awakeIdx) {
+				phys := awakeIdx[hop]
+				tel.Instant(phys, telemetry.PhaseOrphan, cursors[phys], float64(hop))
+			}
+		}
+		rawOpts.OnOrphan = orphanTel
+		resOpts.OnOrphan = orphanTel
+	}
+
 	for round := 0; round < rounds; round++ {
 		t0 := cfg.Slot * units.Duration(round)
 		link := cfg.Link
@@ -343,13 +400,17 @@ func Run(cfg Config) (Result, error) {
 		// promotes the next clone by phase distance (NVD4Q clone failover):
 		// clones share the logical node's NVRF identity, so a survivor can
 		// absorb the dead owner's phase offset within the same slot.
-		awake := make([]*node.Node, len(logical)) // responsible node if awake
-		awakeIdx := make([]int, len(logical))     // physical index
+		for li := range awake {
+			awake[li] = nil // a stale pointer would resurrect last round's node
+		}
 		for li, set := range logical {
-			candidates := []int{set.Responsible(round)}
+			ar.cand = ar.cand[:0]
 			if rec.Enabled && set.Multiplexing() > 1 {
-				candidates = set.WakeOrder(round)
+				ar.cand = set.AppendWakeOrder(ar.cand, round)
+			} else {
+				ar.cand = append(ar.cand, set.Responsible(round))
 			}
+			candidates := ar.cand
 			awakeIdx[li] = candidates[0]
 			woke := false
 			for ci, phys := range candidates {
@@ -411,53 +472,6 @@ func Run(cfg Config) (Result, error) {
 			chain.Heal()
 		}
 
-		// ARQ delivery options for this round. Retries are charged to the
-		// relaying node (ACK receive + idle-power backoff + retransmission)
-		// and refused whenever paying would eat into the relay's wake
-		// reserve for the next slot — a retransmission that costs a future
-		// sample is a net loss. Only raw packets are protected: a lost
-		// result beacon costs nothing from the ledger (the fog work already
-		// counted), so ACKing it would be pure overhead.
-		rawOpts := mesh.DeliverOpts{}
-		if rec.Enabled && retrySched.Len() > 0 {
-			rawOpts = mesh.DeliverOpts{
-				Retries:     retrySched.Len(),
-				RepairRoute: true,
-				PayRetry: func(hop, attempt int) bool {
-					if hop < 0 || hop >= len(awake) || attempt > retrySched.Len() {
-						return false
-					}
-					nd := awake[hop]
-					if nd == nil || nd.RFFailed() {
-						return false
-					}
-					cost := nd.RetryCost(nd.TxRawCost(), retrySched.Wait(attempt))
-					if nd.Stored() < cost.Energy+nd.WakeCost() {
-						return false
-					}
-					if !nd.Transmit(cost) {
-						return false
-					}
-					nd.Stats.Retransmits++
-					res.Retransmits++
-					telSpan(awakeIdx[hop], telemetry.PhaseRetry, cost.Time, float64(attempt))
-					return true
-				},
-			}
-		}
-		resOpts := mesh.DeliverOpts{}
-		if tel.Enabled() {
-			orphanTel := func(hop int) {
-				tel.Count("mesh.orphans", 1)
-				if hop >= 0 && hop < len(awakeIdx) {
-					phys := awakeIdx[hop]
-					tel.Instant(phys, telemetry.PhaseOrphan, cursors[phys], float64(hop))
-				}
-			}
-			rawOpts.OnOrphan = orphanTel
-			resOpts.OnOrphan = orphanTel
-		}
-
 		// Control-node real-time requests bypass the buffered strategy:
 		// the addressed node ships its fresh sample raw, immediately
 		// (§5.1). This is the only cloud-path traffic an NV system
@@ -483,7 +497,7 @@ func Run(cfg Config) (Result, error) {
 		// Build the balancing view over logical slots. VP nodes do not
 		// share state or run the balancer (the caller passes NoBalance for
 		// VP systems); the unified flow still routes their packets.
-		loads := make([]sched.NodeLoad, len(logical))
+		loads := ar.loads // every entry is overwritten below
 		for li, nd := range awake {
 			if nd == nil {
 				loads[li] = sched.NodeLoad{Alive: false, Tasks: queued[li]}
@@ -507,7 +521,7 @@ func Run(cfg Config) (Result, error) {
 		if cfg.Faults.AbortBalance != nil && cfg.Faults.AbortBalance(round) {
 			interruption = 1
 		}
-		plan := balancer.Plan(loads, maxTicks, interruption, rng)
+		plan := sched.PlanWith(balancer, &ar.sched, loads, maxTicks, interruption, rng)
 		if err := validatePlan(plan, loads); err != nil {
 			return res, fmt.Errorf("sim: round %d: %w", round, err)
 		}
@@ -723,7 +737,7 @@ func Run(cfg Config) (Result, error) {
 				stored += nd.Stored().Millijoules()
 			}
 			entry.MeanStoredMJ = stored / float64(len(nodes))
-			if err := json.NewEncoder(cfg.Journal).Encode(entry); err != nil {
+			if err := journalEnc.Encode(entry); err != nil {
 				return res, fmt.Errorf("sim: writing journal: %w", err)
 			}
 			prevFog, prevCloud = res.FogProcessed, res.CloudProcessed

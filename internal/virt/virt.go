@@ -51,6 +51,13 @@ func (l LogicalNode) Responsible(tick int) int {
 // beacon soonest and can absorb the orphaned phase offset — the logical
 // node keeps its QoS at reduced multiplexing while a physical part is dead.
 func (l LogicalNode) WakeOrder(tick int) []int {
+	return l.AppendWakeOrder(make([]int, 0, len(l.Clones)), tick)
+}
+
+// AppendWakeOrder appends the WakeOrder candidates for the given tick to
+// buf and returns the extended slice, so per-round loops can reuse one
+// buffer instead of allocating a fresh schedule every slot.
+func (l LogicalNode) AppendWakeOrder(buf []int, tick int) []int {
 	m := len(l.Clones)
 	if m == 0 {
 		panic("virt: empty clone set")
@@ -59,11 +66,10 @@ func (l LogicalNode) WakeOrder(tick int) []int {
 	if first < 0 {
 		first += m
 	}
-	out := make([]int, m)
 	for k := 0; k < m; k++ {
-		out[k] = l.Clones[(first+k)%m]
+		buf = append(buf, l.Clones[(first+k)%m])
 	}
-	return out
+	return buf
 }
 
 // PhaseOf reports the phase offset of physical node phys within the set,

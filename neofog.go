@@ -539,6 +539,7 @@ func runExperimentTable(id string, opts ExperimentOptions) (*metrics.Table, erro
 		FaultSeed:        opts.FaultSeed,
 		FaultIntensities: opts.FaultIntensities,
 		Telemetry:        opts.Telemetry.recorder(),
+		Parallel:         opts.Parallel,
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -565,4 +566,9 @@ type ExperimentOptions struct {
 	// experiment runs, one trace chain per run; results are bit-identical
 	// with or without it.
 	Telemetry *Telemetry
+	// Parallel is the worker-pool width for independent sweep points: 0 or
+	// 1 runs them serially, N > 1 runs up to N concurrently, negative uses
+	// every CPU (always bounded by GOMAXPROCS). Output is byte-identical at
+	// any width.
+	Parallel int
 }

@@ -135,6 +135,31 @@ func TestRunExperimentSimBacked(t *testing.T) {
 	}
 }
 
+// TestRunExperimentParallelByteIdentical drives the facade's Parallel knob
+// across every registered experiment ID: the published CSV must come out
+// byte-identical to the serial run at any pool width, chaos and resilience
+// campaigns included. The deep per-harness A/B (secondary outputs and
+// telemetry merge order) lives in internal/experiments.
+func TestRunExperimentParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiments")
+	}
+	for _, id := range ExperimentIDs() {
+		serial := &bytes.Buffer{}
+		if err := RunExperimentCSV(id, ExperimentOptions{Seed: 1, Rounds: 300}, serial); err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		par := &bytes.Buffer{}
+		if err := RunExperimentCSV(id, ExperimentOptions{Seed: 1, Rounds: 300, Parallel: -1}, par); err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Errorf("%s: parallel CSV diverged from serial\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, serial.Bytes(), par.Bytes())
+		}
+	}
+}
+
 func TestSimulateFleet(t *testing.T) {
 	cfg := SimulationConfig{Rounds: 60, Nodes: 5, Seed: 11}
 	fleet, err := SimulateFleet(cfg, 4)
