@@ -19,6 +19,7 @@ import (
 	"testing"
 
 	"neofog/internal/bench"
+	"neofog/internal/version"
 )
 
 func main() {
@@ -45,9 +46,14 @@ func run() error {
 		list         = flag.Bool("list", false, "list benchmark names and exit")
 		comparePath  = flag.String("compare", "", "print a before/after comparison against this report (no gate; pair with -baseline to also gate)")
 		parallel     = flag.Int("parallel", 0, "sweep worker-pool width passed to experiment cases: 0/1 serial, N up to N workers, -1 all CPUs")
+		showVersion  = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
+	if *showVersion {
+		fmt.Println("neofog-bench", version.String())
+		return nil
+	}
 	if *list {
 		for _, c := range bench.Cases() {
 			fmt.Println(c.Name)

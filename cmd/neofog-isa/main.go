@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"neofog/internal/isa"
+	"neofog/internal/version"
 )
 
 func main() {
@@ -29,8 +30,13 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed for the burst schedule")
 		maxCycles = flag.Uint64("max", 10_000_000, "cycle budget before giving up")
 		dump      = flag.String("dump", "0:16", "XRAM range to print, start:end")
+		showVer   = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println("neofog-isa", version.String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: neofog-isa [flags] prog.asm")
 		os.Exit(2)

@@ -18,6 +18,7 @@ import (
 	"neofog/internal/cpu"
 	"neofog/internal/experiments"
 	"neofog/internal/rf"
+	"neofog/internal/version"
 )
 
 func main() {
@@ -25,9 +26,14 @@ func main() {
 		appName = flag.String("app", "", "application name from Table 2 (empty = all)")
 		seed    = flag.Int64("seed", 1, "random seed for the synthetic sensor stream")
 		bytes   = flag.Int("buffer", apps.BufferSize, "buffered-strategy block size in bytes")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println("neofog-node", version.String())
+		return
+	}
 	if *appName == "" {
 		fmt.Println(experiments.Table2(*seed).Format())
 		return

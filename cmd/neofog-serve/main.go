@@ -1,0 +1,94 @@
+// Command neofog-serve runs the simulation-as-a-service daemon: an HTTP
+// JSON API over Simulate/SimulateFleet/RunExperiment with a
+// content-addressed result cache, single-flight deduplication, a bounded
+// worker pool with 429 backpressure, SSE progress streaming, and
+// Prometheus metrics. See internal/serve for the API.
+//
+// Usage:
+//
+//	neofog-serve                        # listen on :8080
+//	neofog-serve -addr :9090 -workers 4 -queue 128
+//	neofog-serve -cache-index cache.json   # flush the cache index on drain
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503 while queued
+// and running jobs finish (bounded by -drain-timeout), then the cache
+// index is flushed and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neofog/internal/serve"
+	"neofog/internal/version"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "neofog-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "queue depth; beyond it submissions get 429")
+		cacheEntries = flag.Int("cache", 1024, "finished jobs retained in the result cache")
+		cacheIndex   = flag.String("cache-index", "", "write a JSON cache index here on drain")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
+		showVer      = flag.Bool("version", false, "print build version and exit")
+	)
+	flag.Parse()
+
+	if *showVer {
+		fmt.Println("neofog-serve", version.String())
+		return nil
+	}
+
+	logger := log.New(os.Stderr, "neofog-serve: ", log.LstdFlags)
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheIndexPath: *cacheIndex,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%s)", *addr, version.String())
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case got := <-sig:
+		logger.Printf("received %v, draining (timeout %s)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job engine first (finishes in-flight work, rejects new
+	// submissions with 503), then stop accepting connections entirely.
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

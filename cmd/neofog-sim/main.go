@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"neofog"
+	"neofog/internal/version"
 )
 
 // parseIntensities turns a comma-separated list like "0,0.5,1" into the
@@ -111,8 +112,14 @@ func run() error {
 		timef   = flag.String("timeline", "", "write a per-node energy/backlog timeline CSV to this file")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *showVer {
+		fmt.Println("neofog-sim", version.String())
+		return nil
+	}
 
 	intensities, err := parseIntensities(*fints)
 	if err != nil {

@@ -16,6 +16,7 @@ import (
 
 	"neofog/internal/experiments"
 	"neofog/internal/mesh"
+	"neofog/internal/version"
 	"neofog/internal/virt"
 )
 
@@ -27,9 +28,14 @@ func main() {
 		rng    = flag.Float64("range", 25, "radio range in metres")
 		anchor = flag.Int("anchors", 10, "anchor (logical) node count")
 		clones = flag.Bool("clones", false, "print the NVD4Q clone-set assignment instead")
+		ver    = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
+	if *ver {
+		fmt.Println("neofog-topo", version.String())
+		return
+	}
 	if !*clones {
 		t, err := experiments.Fig7Hops(*seed)
 		if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"neofog/internal/energytrace"
 	"neofog/internal/units"
+	"neofog/internal/version"
 )
 
 func main() {
@@ -30,9 +31,14 @@ func main() {
 		outDir  = flag.String("out", "", "directory for trace CSVs (empty = none)")
 		inFile  = flag.String("in", "", "inspect an existing trace CSV instead of generating")
 		stats   = flag.Bool("stats", true, "print per-trace statistics")
+		showVer = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
 
+	if *showVer {
+		fmt.Println("neofog-trace", version.String())
+		return
+	}
 	if *inFile != "" {
 		f, err := os.Open(*inFile)
 		if err != nil {

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"neofog/internal/sim"
+	"neofog/internal/telemetry"
+)
+
+// TestSweepCancellation checks the context plumbing at both pool widths:
+// a pre-cancelled sweep runs no points and surfaces the context's error;
+// an uncancelled context changes nothing.
+func TestSweepCancellation(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var ran atomic.Int64
+		points := make([]sweepPoint, 6)
+		for i := range points {
+			points[i] = func() (sim.Result, *telemetry.Recorder, error) {
+				ran.Add(1)
+				return sim.Result{}, nil, nil
+			}
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := runSweep(Options{Ctx: ctx, Parallel: par}, points)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallel=%d: want context.Canceled, got %v", par, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Fatalf("parallel=%d: pre-cancelled sweep ran %d points", par, n)
+		}
+
+		if _, err := runSweep(Options{Ctx: context.Background(), Parallel: par}, points); err != nil {
+			t.Fatalf("parallel=%d: live context errored: %v", par, err)
+		}
+		if n := ran.Load(); n != int64(len(points)) {
+			t.Fatalf("parallel=%d: live sweep ran %d of %d points", par, n, len(points))
+		}
+	}
+}
+
+// TestSweepCancelMidway cancels after the third point at width 1 and
+// checks the sweep stops early with the context error.
+func TestSweepCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	points := make([]sweepPoint, 6)
+	for i := range points {
+		i := i
+		points[i] = func() (sim.Result, *telemetry.Recorder, error) {
+			ran.Add(1)
+			if i == 2 {
+				cancel()
+			}
+			return sim.Result{}, nil, nil
+		}
+	}
+	_, err := runSweep(Options{Ctx: ctx, Parallel: 1}, points)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := ran.Load(); n != 3 {
+		t.Fatalf("want exactly 3 points run before cancellation, got %d", n)
+	}
+}

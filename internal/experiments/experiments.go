@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -23,6 +24,12 @@ import (
 
 // Options tunes an experiment run.
 type Options struct {
+	// Ctx, when non-nil, cancels the experiment between sweep points: a
+	// cancelled sweep stops launching new points and returns ctx.Err().
+	// Points already running finish (a single simulation is at most a few
+	// hundred milliseconds), so cancellation never tears state mid-run.
+	// nil means "never cancelled".
+	Ctx context.Context
 	// Seed drives every random choice; equal seeds reproduce bit-for-bit.
 	Seed int64
 	// Nodes is the chain length (default 10, the paper's presented chain).

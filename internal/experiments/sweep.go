@@ -52,8 +52,22 @@ func runSweep(opts Options, points []sweepPoint) ([]sim.Result, error) {
 	children := make([]*telemetry.Recorder, len(points))
 	errs := make([]error, len(points))
 
+	// Cancellation is checked between points, never inside one: a point
+	// that has started always completes, so a cancelled sweep leaves no
+	// half-recorded telemetry, and the in-order error scan below surfaces
+	// ctx.Err() at the first point the serial run would not have started.
+	cancelled := func() error {
+		if opts.Ctx == nil {
+			return nil
+		}
+		return opts.Ctx.Err()
+	}
+
 	if w := opts.workers(); w <= 1 || len(points) <= 1 {
 		for i, pt := range points {
+			if errs[i] = cancelled(); errs[i] != nil {
+				break
+			}
 			results[i], children[i], errs[i] = pt()
 			if errs[i] != nil {
 				break
@@ -68,6 +82,9 @@ func runSweep(opts Options, points []sweepPoint) ([]sim.Result, error) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
+				if errs[i] = cancelled(); errs[i] != nil {
+					return
+				}
 				results[i], children[i], errs[i] = pt()
 			}(i, pt)
 		}

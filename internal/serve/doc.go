@@ -1,0 +1,47 @@
+// Package serve is the simulation-as-a-service daemon: a long-running
+// HTTP server over the public facade (Simulate, SimulateFleet,
+// RunExperiment) that turns the repo's batch evaluation into a fog
+// service — POST a configuration, get a content-addressed job, poll or
+// stream its progress, read its result.
+//
+// The design leans entirely on the determinism the earlier layers
+// proved. Every run is a pure function of its canonical configuration
+// (PR1), byte-identical under parallelism (PR4) and under observation
+// (PR3), so the service can:
+//
+//   - content-address results: the cache key is the SHA-256 of the
+//     canonical request (neofog.CanonicalConfig plus the request
+//     envelope), and a job's ID is derived from that key, which makes
+//     submission idempotent — resubmitting a configuration returns the
+//     cached result, byte for byte the same body a fresh run would
+//     produce;
+//   - single-flight deduplicate: identical requests that arrive while a
+//     matching job is queued or running attach to that job instead of
+//     spawning another run;
+//   - bound its work: a fixed worker pool drains a fixed-depth queue,
+//     and submissions beyond the queue's depth are rejected with 429
+//     rather than buffered without bound;
+//   - stream progress: each job carries a telemetry stream
+//     (neofog.NewStreamingTelemetry) whose spans and per-node samples
+//     are broadcast to SSE subscribers as the simulation records them,
+//     with the final result as the terminal event.
+//
+// Operations: /healthz reports build version and live job counts,
+// /metrics exposes Prometheus text-format counters, gauges and latency
+// histograms (reusing internal/telemetry's fixed-bucket histograms), and
+// Drain implements graceful shutdown — new submissions are rejected with
+// 503 while queued and running jobs complete, then the cache index is
+// flushed to disk for the operator.
+//
+// API summary (all request and response bodies are JSON):
+//
+//	POST   /v1/jobs              submit {kind, config|experiment, ...}
+//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs/{id}         one job's status (result inline when done)
+//	GET    /v1/jobs/{id}/result  the raw result body alone
+//	GET    /v1/jobs/{id}/stream  SSE: status, span, sample, ..., result
+//	DELETE /v1/jobs/{id}         best-effort cancel
+//	GET    /v1/experiments       servable experiment IDs
+//	GET    /healthz              liveness, version, job counts
+//	GET    /metrics              Prometheus text format
+package serve

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got with testdata/<name>, rewriting it under
+// -update (same contract as internal/experiments' goldens).
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("write %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s (run with -update to create): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden.\n got: %s\nwant: %s\nRun `go test ./internal/serve -run TestGolden -update` if the change is intended.", name, got, want)
+	}
+}
+
+// TestGoldenAPIBodies pins the public JSON schema: the cached submit
+// response, the job snapshot, the raw result body, and the full metrics
+// exposition after a fixed request sequence. The fake clock, the
+// deterministic simulator, and content-derived job IDs make every byte
+// reproducible.
+func TestGoldenAPIBodies(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+
+	code, sub := postJob(t, ts, smallSim)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitStatus(t, ts, sub.Job.ID, StatusDone)
+
+	code, cached, err := doPost(ts, smallSim)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("cached resubmit: status %d err %v", code, err)
+	}
+	checkGolden(t, "submit_cached.golden", cached)
+
+	code, jobBody := getBody(t, ts, "/v1/jobs/"+sub.Job.ID)
+	if code != http.StatusOK {
+		t.Fatalf("job: status %d", code)
+	}
+	checkGolden(t, "job.golden", jobBody)
+
+	code, result := getBody(t, ts, "/v1/jobs/"+sub.Job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d", code)
+	}
+	checkGolden(t, "result.golden", result)
+
+	code, metricsBody := getBody(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	checkGolden(t, "metrics.golden", metricsBody)
+}

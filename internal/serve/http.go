@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"neofog"
+	"neofog/internal/version"
+)
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON writes v with the given status. Bodies end in one newline so
+// curl output reads cleanly.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	norm, key, err := normalizeRequest(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, outcome := s.submit(norm, key)
+	switch outcome {
+	case outcomeDraining:
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+	case outcomeQueueFull:
+		writeError(w, http.StatusTooManyRequests, "queue full (depth %d): retry later", s.cfg.QueueDepth)
+	case outcomeCached:
+		writeJSON(w, http.StatusOK, SubmitResponse{Job: snap, Cached: true})
+	case outcomeDeduped:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{Job: snap, Deduped: true})
+	default:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{Job: snap})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []Job `json:"jobs"`
+	}{s.jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	snap := j.snapshot()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	status, result, errMsg := j.status, j.result, ""
+	if j.err != nil {
+		errMsg = j.err.Error()
+	}
+	s.mu.Unlock()
+	switch status {
+	case StatusDone:
+		// The stored bytes verbatim: cached and fresh reads are identical.
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(result, '\n'))
+	case StatusFailed, StatusCancelled:
+		writeError(w, http.StatusConflict, "job %s %s: %s", j.id, status, errMsg)
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s; poll or stream until done", j.id, status)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Experiments []string `json:"experiments"`
+	}{neofog.ExperimentIDs()})
+}
+
+// handleStream serves a job's progress as server-sent events. Event
+// names: "status" when the job starts running, "span"/"sample" for
+// telemetry as it records, then exactly one terminal "result" (done,
+// snapshot with result inline) or "error" (failed/cancelled).
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Opening status frame, then the live feed.
+	s.mu.Lock()
+	snap := j.snapshot()
+	s.mu.Unlock()
+	if err := writeSSE(w, "status", snap); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	ch := j.bcast.subscribe()
+	defer j.bcast.unsubscribe(ch)
+	for {
+		select {
+		case msg, open := <-ch:
+			if !open {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.event, msg.data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status   string         `json:"status"` // "ok" or "draining"
+	Version  string         `json:"version"`
+	Revision string         `json:"revision,omitempty"`
+	Workers  int            `json:"workers"`
+	Queue    queueHealth    `json:"queue"`
+	Jobs     map[string]int `json:"jobs"`
+}
+
+type queueHealth struct {
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	body := healthBody{
+		Status:   "ok",
+		Version:  version.String(),
+		Revision: version.Revision(),
+		Workers:  s.cfg.Workers,
+		Queue:    queueHealth{Depth: len(s.queue), Capacity: s.cfg.QueueDepth},
+		Jobs:     s.countsLocked(),
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	if draining {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	gauges := []gauge{
+		{"queue_depth", "Jobs waiting for a worker.", float64(len(s.queue))},
+		{"queue_capacity", "Queue depth bound; submissions beyond it get 429.", float64(s.cfg.QueueDepth)},
+		{"jobs_running", "Jobs currently executing.", float64(s.running)},
+		{"workers", "Worker-pool width.", float64(s.cfg.Workers)},
+		{"cache_entries", "Jobs retained in the content-addressed store.", float64(len(s.byKey))},
+		{"draining", "1 while draining (new submissions rejected).", boolGauge(s.draining)},
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writePrometheus(w, gauges)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

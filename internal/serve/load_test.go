@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentMixedLoad hammers a depth-limited queue with duplicated
+// mixed configs from many goroutines, retrying 429s, and then checks the
+// books: every distinct config ran exactly once, duplicates landed on
+// the same job, and every result is servable. Run with -race (CI does).
+func TestConcurrentMixedLoad(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 4})
+
+	const distinct = 8
+	const copies = 3
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		byCfg = map[int]string{} // config index → job ID
+	)
+	for i := 0; i < distinct; i++ {
+		for c := 0; c < copies; c++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"config":{"nodes":3,"rounds":30,"seed":%d}}`, i+1)
+				for {
+					code, raw, err := doPost(ts, body)
+					if err != nil {
+						t.Errorf("config %d: POST: %v", i, err)
+						return
+					}
+					if code == http.StatusTooManyRequests {
+						time.Sleep(5 * time.Millisecond)
+						continue
+					}
+					if code != http.StatusAccepted && code != http.StatusOK {
+						t.Errorf("config %d: status %d body %s", i, code, raw)
+						return
+					}
+					var sub SubmitResponse
+					if err := json.Unmarshal(raw, &sub); err != nil {
+						t.Errorf("config %d: decode: %v", i, err)
+						return
+					}
+					mu.Lock()
+					if prev, ok := byCfg[i]; ok && prev != sub.Job.ID {
+						t.Errorf("config %d mapped to two jobs: %s and %s", i, prev, sub.Job.ID)
+					}
+					byCfg[i] = sub.Job.ID
+					mu.Unlock()
+					return
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+
+	if len(byCfg) != distinct {
+		t.Fatalf("tracked %d configs, want %d", len(byCfg), distinct)
+	}
+	for i, id := range byCfg {
+		j := waitStatus(t, ts, id, StatusDone)
+		if len(j.Result) == 0 {
+			t.Errorf("config %d (job %s): empty result", i, id)
+		}
+	}
+	// Duplicates must never re-execute: one run per distinct config.
+	if got := srv.metrics.counter("jobs_executed_total"); got != distinct {
+		t.Fatalf("jobs_executed_total = %d, want %d", got, distinct)
+	}
+	if got := srv.metrics.counter("jobs_failed_total"); got != 0 {
+		t.Fatalf("jobs_failed_total = %d, want 0", got)
+	}
+}

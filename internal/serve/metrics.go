@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"neofog/internal/telemetry"
+)
+
+// metricsRegistry is the server's thread-safe metrics store, exported at
+// /metrics in Prometheus text format. Counters and gauges are plain
+// maps; latency distributions reuse internal/telemetry's fixed-bucket
+// Histogram so the simulator and the service share one histogram
+// implementation (and its deterministic merge/export semantics).
+type metricsRegistry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*telemetry.Histogram
+}
+
+// jobSecondsBounds are the latency buckets (seconds) for per-kind job
+// duration histograms: simulations run milliseconds to minutes.
+var jobSecondsBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
+
+func newMetrics() *metricsRegistry {
+	return &metricsRegistry{
+		counters: map[string]int64{},
+		hists:    map[string]*telemetry.Histogram{},
+	}
+}
+
+func (m *metricsRegistry) inc(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[name] += delta
+}
+
+func (m *metricsRegistry) counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// observeJobSeconds records one finished job's latency under its kind.
+func (m *metricsRegistry) observeJobSeconds(kind string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[kind]
+	if !ok {
+		h = newJobHistogram()
+		m.hists[kind] = h
+	}
+	h.Observe(seconds)
+}
+
+func newJobHistogram() *telemetry.Histogram {
+	r := telemetry.New()
+	return r.RegisterHistogram("job_seconds", jobSecondsBounds)
+}
+
+// counterHelp documents the exported counters; keep in sorted name order
+// with the writer below.
+var counterHelp = map[string]string{
+	"cache_evictions_total":          "Completed jobs evicted to bound the result cache.",
+	"cache_hits_total":               "Submissions answered entirely from the result cache.",
+	"cache_misses_total":             "Submissions that started a new run.",
+	"dedup_hits_total":               "Submissions that attached to an identical in-flight job (single-flight).",
+	"jobs_cancelled_total":           "Jobs that ended cancelled.",
+	"jobs_executed_total":            "Runs actually executed by the worker pool.",
+	"jobs_failed_total":              "Jobs that ended in an error.",
+	"jobs_submitted_total":           "Submissions accepted (including cache and dedup hits).",
+	"submit_rejected_draining_total": "Submissions rejected with 503 during drain.",
+	"submit_rejected_full_total":     "Submissions rejected with 429 because the queue was full.",
+}
+
+// gauge is one live value the server computes at scrape time.
+type gauge struct {
+	name string
+	help string
+	val  float64
+}
+
+// writePrometheus renders the registry plus the given live gauges in
+// Prometheus text exposition format. Output is deterministic: metrics
+// appear in sorted name order, histogram kinds in sorted label order.
+func (m *metricsRegistry) writePrometheus(w io.Writer, gauges []gauge) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	names := make([]string, 0, len(counterHelp))
+	for name := range counterHelp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := "neofog_serve_" + name
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			full, counterHelp[name], full, full, m.counters[name]); err != nil {
+			return err
+		}
+	}
+
+	for _, g := range gauges {
+		full := "neofog_serve_" + g.name
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			full, g.help, full, full, formatFloat(g.val)); err != nil {
+			return err
+		}
+	}
+
+	kinds := make([]string, 0, len(m.hists))
+	for kind := range m.hists {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	if len(kinds) > 0 {
+		const full = "neofog_serve_job_seconds"
+		if _, err := fmt.Fprintf(w, "# HELP %s Job execution latency in seconds, by kind.\n# TYPE %s histogram\n",
+			full, full); err != nil {
+			return err
+		}
+		for _, kind := range kinds {
+			h := m.hists[kind]
+			cum := int64(0)
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				if _, err := fmt.Fprintf(w, "%s_bucket{kind=%q,le=%q} %d\n",
+					full, kind, formatFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.Counts[len(h.Bounds)]
+			if _, err := fmt.Fprintf(w, "%s_bucket{kind=%q,le=\"+Inf\"} %d\n", full, kind, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{kind=%q} %s\n%s_count{kind=%q} %d\n",
+				full, kind, formatFloat(h.Sum), full, kind, h.N); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

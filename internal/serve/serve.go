@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"neofog"
+)
+
+// Config tunes a Server. The zero value is serviceable: GOMAXPROCS
+// workers, a 64-deep queue, a 1024-entry result cache, the wall clock.
+type Config struct {
+	// Workers is the worker-pool width (default GOMAXPROCS). Each worker
+	// runs one job at a time; jobs themselves may fan out further via
+	// the experiments' Parallel option, which stays GOMAXPROCS-bounded.
+	Workers int
+	// QueueDepth bounds the number of jobs waiting for a worker; a full
+	// queue rejects new submissions with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds how many finished jobs (and so cached results)
+	// are retained; the oldest finished job is evicted first. Queued and
+	// running jobs are never evicted (default 1024).
+	CacheEntries int
+	// CacheIndexPath, when non-empty, receives a JSON index of the cache
+	// (key, job ID, kind, status, hit counts) when Drain completes, so an
+	// operator can audit what the daemon served.
+	CacheIndexPath string
+	// Clock injects time for tests (default time.Now). All job
+	// timestamps and latency observations go through it.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Server is the simulation service: a content-addressed job store, a
+// bounded worker pool, and the HTTP API over them. Create with New,
+// mount Handler, and call Drain to shut down gracefully.
+type Server struct {
+	cfg     Config
+	metrics *metricsRegistry
+
+	mu       sync.Mutex
+	byKey    map[string]*job
+	order    []string // submission order of keys, for listing and eviction
+	queue    chan *job
+	running  int
+	draining bool
+
+	workers sync.WaitGroup
+
+	// beforeExecute, when non-nil, runs on the worker goroutine after a
+	// job turns running and before its facade call. Tests set it (under
+	// mu) to hold a worker busy at a deterministic point; production
+	// never sets it.
+	beforeExecute func(j *job)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		metrics: newMetrics(),
+		byKey:   map[string]*job{},
+	}
+	s.queue = make(chan *job, s.cfg.QueueDepth)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// submitOutcome reports how a submission was satisfied.
+type submitOutcome int
+
+const (
+	outcomeNew submitOutcome = iota
+	outcomeCached
+	outcomeDeduped
+	outcomeQueueFull
+	outcomeDraining
+)
+
+// submit resolves one normalized request against the job store: answer
+// from cache, attach to an identical in-flight job, or enqueue a fresh
+// run. The whole decision is one critical section, which is what makes
+// the deduplication single-flight — two identical concurrent
+// submissions cannot both observe "no such job".
+func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.draining {
+		s.metrics.inc("submit_rejected_draining_total", 1)
+		return Job{}, outcomeDraining
+	}
+	s.metrics.inc("jobs_submitted_total", 1)
+
+	if j, ok := s.byKey[key]; ok {
+		switch {
+		case j.status == StatusDone:
+			j.hits++
+			s.metrics.inc("cache_hits_total", 1)
+			return j.snapshot(), outcomeCached
+		case !j.terminal():
+			j.hits++
+			s.metrics.inc("dedup_hits_total", 1)
+			return j.snapshot(), outcomeDeduped
+		}
+		// failed or cancelled: fall through and retry with a fresh run,
+		// reusing the key's slot (and so its deterministic job ID).
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		id:          jobID(key),
+		key:         key,
+		kind:        req.Kind,
+		req:         req,
+		status:      StatusQueued,
+		submittedAt: s.cfg.Clock(),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		bcast:       newBroadcaster(),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.metrics.inc("submit_rejected_full_total", 1)
+		return Job{}, outcomeQueueFull
+	}
+	if _, existed := s.byKey[key]; !existed {
+		s.order = append(s.order, key)
+	}
+	s.byKey[key] = j
+	s.metrics.inc("cache_misses_total", 1)
+	s.evictLocked()
+	return j.snapshot(), outcomeNew
+}
+
+// evictLocked drops the oldest finished jobs until the store fits the
+// configured bound; in-flight jobs are never evicted. Callers hold s.mu.
+func (s *Server) evictLocked() {
+	excess := len(s.byKey) - s.cfg.CacheEntries
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, key := range s.order {
+		j := s.byKey[key]
+		if excess > 0 && j != nil && j.terminal() {
+			delete(s.byKey, key)
+			s.metrics.inc("cache_evictions_total", 1)
+			excess--
+			continue
+		}
+		kept = append(kept, key)
+	}
+	s.order = kept
+}
+
+// worker drains the queue until Drain closes it.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job end to end: mark running, run the facade call
+// with a streaming telemetry attached, store the marshaled result, and
+// broadcast the terminal event. The result bytes are marshaled exactly
+// once and served verbatim afterwards, which is what makes cached and
+// fresh responses byte-identical.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.status != StatusQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.startedAt = s.cfg.Clock()
+	s.running++
+	hook := s.beforeExecute
+	s.mu.Unlock()
+	s.metrics.inc("jobs_executed_total", 1)
+	j.bcast.publish("status", Job{ID: j.id, Key: j.key, Kind: j.kind, Status: StatusRunning})
+
+	if hook != nil {
+		hook(j)
+	}
+	result, err := s.execute(j)
+
+	s.mu.Lock()
+	j.finishedAt = s.cfg.Clock()
+	s.running--
+	switch {
+	case err == nil:
+		j.status = StatusDone
+		j.result = result
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.status = StatusCancelled
+		j.err = err
+		s.metrics.inc("jobs_cancelled_total", 1)
+	default:
+		j.status = StatusFailed
+		j.err = err
+		s.metrics.inc("jobs_failed_total", 1)
+	}
+	s.metrics.observeJobSeconds(j.kind, j.finishedAt.Sub(j.startedAt).Seconds())
+	snap := j.snapshot()
+	s.mu.Unlock()
+
+	j.cancel()
+	close(j.done)
+	if snap.Status == StatusDone {
+		j.bcast.finish("result", snap)
+	} else {
+		j.bcast.finish("error", snap)
+	}
+}
+
+// execute dispatches to the facade. Each job gets a streaming telemetry
+// collector wired to its SSE broadcaster; telemetry is proven
+// non-perturbing, so observed results equal unobserved ones.
+func (s *Server) execute(j *job) (json.RawMessage, error) {
+	tel := neofog.NewStreamingTelemetry(jobStreamer{j.bcast})
+	switch j.kind {
+	case KindSimulate:
+		cfg := *j.req.Config
+		cfg.Telemetry = tel
+		res, err := neofog.Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+
+	case KindFleet:
+		cfg := *j.req.Config
+		cfg.Telemetry = tel
+		res, err := neofog.SimulateFleet(cfg, j.req.Chains)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(res)
+
+	case KindExperiment:
+		o := j.req.Options
+		opts := neofog.ExperimentOptions{
+			Context:          j.ctx,
+			Seed:             o.Seed,
+			Nodes:            o.Nodes,
+			Rounds:           o.Rounds,
+			FaultSeed:        o.FaultSeed,
+			FaultIntensities: o.FaultIntensities,
+			Parallel:         o.Parallel,
+			Telemetry:        tel,
+		}
+		var output string
+		if j.req.Format == "csv" {
+			var buf bytes.Buffer
+			if err := neofog.RunExperimentCSV(j.req.Experiment, opts, &buf); err != nil {
+				return nil, err
+			}
+			output = buf.String()
+		} else {
+			var err error
+			output, err = neofog.RunExperiment(j.req.Experiment, opts)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return json.Marshal(experimentResult{
+			Experiment: j.req.Experiment,
+			Format:     j.req.Format,
+			Output:     output,
+		})
+	}
+	return nil, fmt.Errorf("unknown job kind %q", j.kind)
+}
+
+// lookup returns the job with the given public ID.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.byKey {
+		if j.id == id {
+			return j, true
+		}
+	}
+	return nil, false
+}
+
+// cancelJob cancels a job by ID, best-effort: a queued job is struck
+// before it runs; a running experiment stops at its next sweep point; a
+// running simulation completes (single runs are not interruptible) and
+// still caches its result.
+func (s *Server) cancelJob(id string) (Job, bool) {
+	s.mu.Lock()
+	var target *job
+	for _, j := range s.byKey {
+		if j.id == id {
+			target = j
+			break
+		}
+	}
+	if target == nil {
+		s.mu.Unlock()
+		return Job{}, false
+	}
+	if target.status == StatusQueued {
+		target.status = StatusCancelled
+		target.finishedAt = s.cfg.Clock()
+		target.err = context.Canceled
+		s.metrics.inc("jobs_cancelled_total", 1)
+		snap := target.snapshot()
+		s.mu.Unlock()
+		target.cancel()
+		close(target.done)
+		target.bcast.finish("error", snap)
+		return snap, true
+	}
+	snap := target.snapshot()
+	s.mu.Unlock()
+	target.cancel() // running: the job finishes on its own schedule
+	return snap, true
+}
+
+// jobs lists snapshots in submission order.
+func (s *Server) jobs() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, len(s.order))
+	for _, key := range s.order {
+		if j, ok := s.byKey[key]; ok {
+			out = append(out, j.snapshot())
+		}
+	}
+	return out
+}
+
+// counts tallies jobs by status; callers hold s.mu.
+func (s *Server) countsLocked() map[string]int {
+	c := map[string]int{}
+	for _, j := range s.byKey {
+		c[j.status]++
+	}
+	return c
+}
+
+// Drain gracefully shuts the service down: new submissions are rejected
+// with 503 immediately, queued and running jobs complete, workers exit,
+// and the cache index (if configured) is flushed. If ctx expires first,
+// every remaining job's context is cancelled — experiments then stop at
+// their next sweep point — and Drain still waits for the workers before
+// returning ctx's error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("serve: already draining")
+	}
+	s.draining = true
+	close(s.queue) // safe: submissions check draining under the same mutex
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		s.mu.Lock()
+		for _, j := range s.byKey {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+
+	if err := s.flushCacheIndex(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}
+
+// cacheIndexEntry is one line of the drained cache index.
+type cacheIndexEntry struct {
+	Key    string `json:"key"`
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Status string `json:"status"`
+	Hits   int64  `json:"hits"`
+}
+
+// flushCacheIndex writes the cache index JSON to the configured path.
+func (s *Server) flushCacheIndex() error {
+	if s.cfg.CacheIndexPath == "" {
+		return nil
+	}
+	s.mu.Lock()
+	entries := make([]cacheIndexEntry, 0, len(s.order))
+	for _, key := range s.order {
+		j, ok := s.byKey[key]
+		if !ok {
+			continue
+		}
+		entries = append(entries, cacheIndexEntry{
+			Key: j.key, ID: j.id, Kind: j.kind, Status: j.status, Hits: j.hits,
+		})
+	}
+	s.mu.Unlock()
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.cfg.CacheIndexPath, append(b, '\n'), 0o644)
+}

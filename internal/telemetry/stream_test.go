@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+
+	"neofog/internal/units"
+)
+
+type captureSink struct {
+	events  []Event
+	samples []Sample
+}
+
+func (c *captureSink) OnEvent(e Event)   { c.events = append(c.events, e) }
+func (c *captureSink) OnSample(s Sample) { c.samples = append(c.samples, s) }
+
+// TestSinkSeesRecordingOrder checks the stream contract: a sink receives
+// exactly the records the recorder keeps, in recording order.
+func TestSinkSeesRecordingOrder(t *testing.T) {
+	r := New()
+	var sink captureSink
+	r.SetSink(&sink)
+
+	r.Span(0, PhaseWake, 0, 5*units.Millisecond, 1)
+	r.Instant(1, PhaseTx, 12*units.Second, 8)
+	r.Sample(0, 3, 12*units.Second, 100*units.Microjoule, 2, true)
+	r.Span(2, PhaseFog, 24*units.Second, units.Second, 3)
+
+	if !reflect.DeepEqual(sink.events, r.Events()) {
+		t.Fatalf("sink events diverge from recorder:\n%v\n%v", sink.events, r.Events())
+	}
+	if !reflect.DeepEqual(sink.samples, r.Samples()) {
+		t.Fatalf("sink samples diverge from recorder:\n%v\n%v", sink.samples, r.Samples())
+	}
+}
+
+// TestSinkSeesMergedChains checks that MergeNext re-emits the child's
+// records to the parent's sink with the assigned chain id, so a fleet
+// consumer streams chains in merge order.
+func TestSinkSeesMergedChains(t *testing.T) {
+	parent := New()
+	var sink captureSink
+	parent.SetSink(&sink)
+
+	for chain := 0; chain < 3; chain++ {
+		child := New()
+		child.Span(chain, PhaseHarvest, 0, units.Second, float64(chain))
+		child.Sample(1, chain, units.Second, units.Microjoule, chain, false)
+		parent.MergeNext(child)
+	}
+
+	if !reflect.DeepEqual(sink.events, parent.Events()) {
+		t.Fatalf("merged events diverge:\n%v\n%v", sink.events, parent.Events())
+	}
+	if !reflect.DeepEqual(sink.samples, parent.Samples()) {
+		t.Fatalf("merged samples diverge:\n%v\n%v", sink.samples, parent.Samples())
+	}
+	for i, e := range sink.events {
+		if e.Chain != i {
+			t.Fatalf("event %d tagged chain %d, want %d", i, e.Chain, i)
+		}
+	}
+}
+
+// TestSinkDoesNotPerturb checks that attaching a sink leaves the
+// recorder's own contents untouched, and that a nil recorder tolerates
+// SetSink.
+func TestSinkDoesNotPerturb(t *testing.T) {
+	var nilRec *Recorder
+	nilRec.SetSink(&captureSink{}) // must not panic
+
+	record := func(r *Recorder) {
+		r.Count("c", 2)
+		r.Span(0, PhaseTx, 0, units.Second, 1)
+		r.Sample(0, 0, units.Second, units.Microjoule, 1, true)
+	}
+	plain, observed := New(), New()
+	record(plain)
+	observed.SetSink(&captureSink{})
+	record(observed)
+	observed.SetSink(nil)
+
+	if !reflect.DeepEqual(plain.Events(), observed.Events()) ||
+		!reflect.DeepEqual(plain.Samples(), observed.Samples()) ||
+		plain.Counter("c") != observed.Counter("c") {
+		t.Fatal("sink perturbed the recorder's contents")
+	}
+}

@@ -147,6 +147,7 @@ type Recorder struct {
 	samples  []Sample
 	tracks   map[trackKey]string
 	chains   int
+	sink     Sink
 }
 
 // New builds an empty Recorder.
@@ -247,6 +248,9 @@ func (r *Recorder) Span(track int, phase Phase, start, dur units.Duration, value
 	}
 	r.events = append(r.events, Event{Track: track, Phase: phase, Kind: KindSpan,
 		Start: start, Dur: dur, Value: value})
+	if r.sink != nil {
+		r.sink.OnEvent(r.events[len(r.events)-1])
+	}
 }
 
 // Instant records a point event on a track.
@@ -256,6 +260,9 @@ func (r *Recorder) Instant(track int, phase Phase, at units.Duration, value floa
 	}
 	r.events = append(r.events, Event{Track: track, Phase: phase, Kind: KindInstant,
 		Start: at, Value: value})
+	if r.sink != nil {
+		r.sink.OnEvent(r.events[len(r.events)-1])
+	}
 }
 
 // Sample records one per-node timeline point.
@@ -265,6 +272,9 @@ func (r *Recorder) Sample(round, node int, at units.Duration, stored units.Energ
 	}
 	r.samples = append(r.samples, Sample{Node: node, Round: round, Time: at,
 		Stored: stored, Backlog: backlog, Awake: awake})
+	if r.sink != nil {
+		r.sink.OnSample(r.samples[len(r.samples)-1])
+	}
 }
 
 // Events returns the recorded events in recording order.
@@ -331,10 +341,16 @@ func (r *Recorder) MergeNext(child *Recorder) int {
 	for _, e := range child.events {
 		e.Chain += base
 		r.events = append(r.events, e)
+		if r.sink != nil {
+			r.sink.OnEvent(e)
+		}
 	}
 	for _, s := range child.samples {
 		s.Chain += base
 		r.samples = append(r.samples, s)
+		if r.sink != nil {
+			r.sink.OnSample(s)
+		}
 	}
 	for k, label := range child.tracks {
 		r.tracks[trackKey{k.chain + base, k.track}] = label

@@ -1,0 +1,66 @@
+// Package version derives the build's identity from the information the
+// Go toolchain embeds in every binary (debug.ReadBuildInfo): the module
+// version when built from a tagged module, and the VCS revision and
+// dirty flag when built from a checkout. All seven cmd/ binaries expose
+// it behind a -version flag, and the simulation service reports it at
+// /healthz, so an operator can always tell exactly which build answered.
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
+
+// read is swapped in tests; production always reads the real build info.
+var read = debug.ReadBuildInfo
+
+// String returns a human-readable build identity like
+// "v1.2.3 (rev 0123abcd, go1.24.0)" or "devel (rev 0123abcd, dirty,
+// go1.24.0)". It degrades gracefully: binaries built without module or
+// VCS metadata (e.g. `go run` from a non-repo dir) report "devel".
+func String() string {
+	bi, ok := read()
+	if !ok {
+		return "devel"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var details []string
+	if rev := setting(bi, "vcs.revision"); rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		details = append(details, "rev "+rev)
+	}
+	if setting(bi, "vcs.modified") == "true" {
+		details = append(details, "dirty")
+	}
+	if bi.GoVersion != "" {
+		details = append(details, bi.GoVersion)
+	}
+	if len(details) == 0 {
+		return ver
+	}
+	return ver + " (" + strings.Join(details, ", ") + ")"
+}
+
+// Revision returns the bare VCS revision ("" when built without VCS
+// stamping), for machine consumers like the /healthz body.
+func Revision() string {
+	bi, ok := read()
+	if !ok {
+		return ""
+	}
+	return setting(bi, "vcs.revision")
+}
+
+func setting(bi *debug.BuildInfo, key string) string {
+	for _, s := range bi.Settings {
+		if s.Key == key {
+			return s.Value
+		}
+	}
+	return ""
+}

@@ -1,0 +1,62 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withBuildInfo(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	t.Helper()
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestStringNoBuildInfo(t *testing.T) {
+	withBuildInfo(t, nil, false)
+	if got := String(); got != "devel" {
+		t.Fatalf("want devel, got %q", got)
+	}
+	if got := Revision(); got != "" {
+		t.Fatalf("want empty revision, got %q", got)
+	}
+}
+
+func TestStringWithVCS(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Main:      debug.Module{Version: "(devel)"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef0123"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	got := String()
+	for _, want := range []string{"devel", "rev 0123456789ab", "dirty", "go1.24.0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("version %q missing %q", got, want)
+		}
+	}
+	if Revision() != "0123456789abcdef0123" {
+		t.Fatalf("bad revision %q", Revision())
+	}
+}
+
+func TestStringTagged(t *testing.T) {
+	withBuildInfo(t, &debug.BuildInfo{
+		Main: debug.Module{Version: "v1.2.3"},
+	}, true)
+	if got := String(); got != "v1.2.3" {
+		t.Fatalf("want v1.2.3, got %q", got)
+	}
+}
+
+// TestRealBuildInfo exercises the production path: under `go test` build
+// info is present, so String must return something non-empty and not
+// panic.
+func TestRealBuildInfo(t *testing.T) {
+	if String() == "" {
+		t.Fatal("empty version from real build info")
+	}
+}

@@ -23,6 +23,7 @@ package neofog
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -533,6 +534,7 @@ func runExperimentTable(id string, opts ExperimentOptions) (*metrics.Table, erro
 		return nil, fmt.Errorf("neofog: unknown experiment %q (have %s)", id, strings.Join(ExperimentIDs(), ", "))
 	}
 	o := experiments.Options{
+		Ctx:              opts.Context,
 		Seed:             opts.Seed,
 		Nodes:            opts.Nodes,
 		Rounds:           opts.Rounds,
@@ -549,6 +551,11 @@ func runExperimentTable(id string, opts ExperimentOptions) (*metrics.Table, erro
 
 // ExperimentOptions tunes RunExperiment.
 type ExperimentOptions struct {
+	// Context, when non-nil, cancels the experiment between sweep points
+	// (the simulation service uses this for job cancellation and drain
+	// deadlines). Points already running finish; the experiment returns
+	// the context's error. nil means "never cancelled".
+	Context context.Context
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// Nodes overrides the chain length (default 10).

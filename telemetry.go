@@ -25,6 +25,48 @@ type Telemetry struct {
 // NewTelemetry builds an empty collector.
 func NewTelemetry() *Telemetry { return &Telemetry{rec: telemetry.New()} }
 
+// TelemetryStreamer receives telemetry records the moment they are
+// recorded, in recording order — the live counterpart of the batch
+// exports. Callbacks run on the simulating goroutine: implementations
+// must be fast and do their own synchronization if they fan records out
+// to other goroutines. Streaming observes without perturbing; results
+// and the collector's own contents are identical with or without it.
+type TelemetryStreamer interface {
+	// TelemetryEvent reports one phase span or instant. chain and track
+	// locate the lane (track is the physical node index, or one past the
+	// last node for the balancer lane), phase is the phase name
+	// ("harvest", "wake", ..., see DESIGN.md), instant distinguishes
+	// point events from spans, and times are simulated RTC seconds.
+	TelemetryEvent(chain, track int, phase string, instant bool, startSeconds, durSeconds, value float64)
+	// TelemetrySample reports one per-node timeline point: stored energy
+	// (millijoules) and slot backlog at the end of a round.
+	TelemetrySample(chain, node, round int, timeSeconds, storedMillijoules float64, backlog int, awake bool)
+}
+
+// NewStreamingTelemetry builds a collector that additionally forwards
+// every span, instant and timeline sample to s as it is recorded. The
+// simulation-as-a-service daemon uses this for live SSE progress.
+func NewStreamingTelemetry(s TelemetryStreamer) *Telemetry {
+	t := NewTelemetry()
+	t.rec.SetSink(streamAdapter{s})
+	return t
+}
+
+// streamAdapter converts internal telemetry records to the basic-typed
+// TelemetryStreamer callbacks, keeping internal types out of the public
+// API surface.
+type streamAdapter struct{ s TelemetryStreamer }
+
+func (a streamAdapter) OnEvent(e telemetry.Event) {
+	a.s.TelemetryEvent(e.Chain, e.Track, e.Phase.String(), e.Kind == telemetry.KindInstant,
+		e.Start.Seconds(), e.Dur.Seconds(), e.Value)
+}
+
+func (a streamAdapter) OnSample(s telemetry.Sample) {
+	a.s.TelemetrySample(s.Chain, s.Node, s.Round, s.Time.Seconds(),
+		s.Stored.Millijoules(), s.Backlog, s.Awake)
+}
+
 // recorder unwraps to the internal recorder; nil-safe, so a nil *Telemetry
 // behaves exactly like no telemetry at all.
 func (t *Telemetry) recorder() *telemetry.Recorder {
