@@ -8,7 +8,14 @@
 //
 //	neofog-serve                        # listen on :8080
 //	neofog-serve -addr :9090 -workers 4 -queue 128
-//	neofog-serve -cache-index cache.json   # flush the cache index on drain
+//	neofog-serve -cache-dir cache          # persist results; warm restarts
+//	neofog-serve -cache-dir cache -cache-budget 268435456
+//	neofog-serve -cache-index cache.json   # flush an audit index on drain
+//
+// With -cache-dir the daemon persists every computed result crash-safely
+// under <dir>/<canonical-key> and warms them lazily on the next boot: a
+// restarted daemon — even after kill -9 — serves previously computed
+// results byte-identically, with "cached":true, without recomputing.
 //
 // SIGINT/SIGTERM drain gracefully: new submissions get 503 while queued
 // and running jobs finish (bounded by -drain-timeout), then the cache
@@ -43,8 +50,10 @@ func run() error {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "worker-pool width (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "queue depth; beyond it submissions get 429")
-		cacheEntries = flag.Int("cache", 1024, "finished jobs retained in the result cache")
-		cacheIndex   = flag.String("cache-index", "", "write a JSON cache index here on drain")
+		cacheEntries = flag.Int("cache", 1024, "result bodies retained in memory (disk tier demotes beyond this)")
+		cacheDir     = flag.String("cache-dir", "", "persist results here for warm restarts (empty = memory only)")
+		cacheBudget  = flag.Int64("cache-budget", 0, "total result bytes retained across both tiers (0 = unlimited)")
+		cacheIndex   = flag.String("cache-index", "", "write a JSON audit index here on drain")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
 		showVer      = flag.Bool("version", false, "print build version and exit")
 	)
@@ -56,12 +65,17 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "neofog-serve: ", log.LstdFlags)
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		CacheIndexPath: *cacheIndex,
+		CacheDir:       *cacheDir,
+		CacheBudget:    *cacheBudget,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errCh := make(chan error, 1)

@@ -24,7 +24,18 @@
 //   - stream progress: each job carries a telemetry stream
 //     (neofog.NewStreamingTelemetry) whose spans and per-node samples
 //     are broadcast to SSE subscribers as the simulation records them,
-//     with the final result as the terminal event.
+//     with the final result as the terminal event;
+//   - persist results across restarts: with Config.CacheDir the cache
+//     is two-tiered — bodies are written through to disk crash-safely
+//     (temp + fsync + rename, atomic index) as jobs complete, warm
+//     lazily on the next boot, and are verified against their recorded
+//     SHA-256 before a byte is re-served. A disk hit is
+//     byte-indistinguishable from a memory hit at the HTTP surface;
+//     corrupt, truncated, or crash-torn files are discarded and
+//     recomputed, never served. Config.CacheEntries bounds the
+//     memory-resident bodies (LRU demotion to disk beyond it) and
+//     Config.CacheBudget bounds total retained bytes across both tiers
+//     (LRU eviction beyond it).
 //
 // Operations: /healthz reports build version and live job counts,
 // /metrics exposes Prometheus text-format counters, gauges and latency

@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCacheIndex exercises the persistent index codec: whatever bytes
+// the decoder accepts must re-encode to a fixed point (encode∘decode is
+// idempotent) and every surfaced entry must pass validation — i.e. the
+// decoder can never round-trip garbage into something the warm-boot
+// path would trust.
+func FuzzCacheIndex(f *testing.F) {
+	// Seeds: the canonical empty index, a populated catalog, and shapes
+	// the decoder must reject (wrong version, truncation, bad entries).
+	empty, err := encodeIndex(indexFile{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	key := hexKeyFor("seed")
+	populated, err := encodeIndex(indexFile{Entries: []indexEntry{{
+		Key: key, ID: jobID(key), Kind: KindSimulate, Status: StatusDone,
+		Hits: 2, Size: 42, BodySHA256: hexKeyFor("seed-body"),
+		SubmittedAt: fixedTime, StartedAt: fixedTime, FinishedAt: fixedTime,
+		LastUsed: 3,
+	}}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(populated)
+	f.Add([]byte(`{"version":2,"entries":[]}`))
+	f.Add([]byte(`{"version":1,"entries":[{"key":"zz"}]}`))
+	f.Add(populated[:len(populated)/2])
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := decodeIndex(data)
+		if err != nil {
+			return // rejected input: nothing further to hold the codec to
+		}
+		if idx.Version != indexVersion {
+			t.Fatalf("decoder accepted version %d", idx.Version)
+		}
+		seen := map[string]bool{}
+		for _, e := range idx.Entries {
+			if verr := e.validate(); verr != nil {
+				t.Fatalf("decoder surfaced invalid entry: %v", verr)
+			}
+			if seen[e.Key] {
+				t.Fatalf("decoder surfaced duplicate key %s", e.Key)
+			}
+			seen[e.Key] = true
+		}
+		enc1, err := encodeIndex(idx)
+		if err != nil {
+			t.Fatalf("accepted index failed to encode: %v", err)
+		}
+		idx2, err := decodeIndex(enc1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		enc2, err := encodeIndex(idx2)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode∘decode is not a fixed point:\n%s\nvs\n%s", enc1, enc2)
+		}
+	})
+}

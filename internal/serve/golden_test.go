@@ -72,3 +72,44 @@ func TestGoldenAPIBodies(t *testing.T) {
 	}
 	checkGolden(t, "metrics.golden", metricsBody)
 }
+
+// TestGoldenWarmRestart proves the indistinguishability requirement at
+// the byte level: a disk-tier hit after a full restart must produce the
+// SAME golden bodies as a memory hit in a single process — the existing
+// goldens, unchanged, with no recomputation (enforced by the execution
+// hook).
+func TestGoldenWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	srv1, ts1 := newTestServer(t, Config{Workers: 1, QueueDepth: 8, CacheDir: dir})
+	code, sub := postJob(t, ts1, smallSim)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	waitStatus(t, ts1, sub.Job.ID, StatusDone)
+	drainNow(t, srv1)
+	ts1.Close()
+
+	srv2, ts2 := newTestServer(t, Config{Workers: 1, QueueDepth: 8, CacheDir: dir})
+	forbidExecution(t, srv2)
+
+	// The first resubmit after the restart takes hits 0→1, exactly the
+	// state the in-process golden was captured in.
+	code, cached, err := doPost(ts2, smallSim)
+	if err != nil || code != http.StatusOK {
+		t.Fatalf("warm resubmit: status %d err %v", code, err)
+	}
+	checkGolden(t, "submit_cached.golden", cached)
+
+	code, jobBody := getBody(t, ts2, "/v1/jobs/"+sub.Job.ID)
+	if code != http.StatusOK {
+		t.Fatalf("warm job: status %d", code)
+	}
+	checkGolden(t, "job.golden", jobBody)
+
+	code, result := getBody(t, ts2, "/v1/jobs/"+sub.Job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("warm result: status %d", code)
+	}
+	checkGolden(t, "result.golden", result)
+}

@@ -79,38 +79,30 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(r.PathValue("id"))
+	snap, ok := s.snapshotByID(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	s.mu.Lock()
-	snap := j.snapshot()
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.lookup(r.PathValue("id"))
+	snap, ok := s.snapshotByID(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
 		return
 	}
-	s.mu.Lock()
-	status, result, errMsg := j.status, j.result, ""
-	if j.err != nil {
-		errMsg = j.err.Error()
-	}
-	s.mu.Unlock()
-	switch status {
+	switch snap.Status {
 	case StatusDone:
-		// The stored bytes verbatim: cached and fresh reads are identical.
+		// The stored bytes verbatim — promoted from disk if demoted:
+		// cached, fresh, and post-restart reads are all identical.
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(append(result, '\n'))
+		w.Write(append(snap.Result, '\n'))
 	case StatusFailed, StatusCancelled:
-		writeError(w, http.StatusConflict, "job %s %s: %s", j.id, status, errMsg)
+		writeError(w, http.StatusConflict, "job %s %s: %s", snap.ID, snap.Status, snap.Error)
 	default:
-		writeError(w, http.StatusConflict, "job %s is %s; poll or stream until done", j.id, status)
+		writeError(w, http.StatusConflict, "job %s is %s; poll or stream until done", snap.ID, snap.Status)
 	}
 }
 
@@ -144,18 +136,41 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
+
+	s.mu.Lock()
+	if j.status == StatusDone && !s.promoteLocked(j) {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	terminal := j.terminal()
+	snap := j.snapshot()
+	s.mu.Unlock()
+
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
 	// Opening status frame, then the live feed.
-	s.mu.Lock()
-	snap := j.snapshot()
-	s.mu.Unlock()
 	if err := writeSSE(w, "status", snap); err != nil {
 		return
 	}
 	flusher.Flush()
+
+	// A finished job replays one terminal frame from the current
+	// snapshot — the same shape whether the job finished in this process
+	// or was warmed from the disk tier after a restart.
+	if terminal {
+		event := "error"
+		if snap.Status == StatusDone {
+			event = "result"
+		}
+		if err := writeSSE(w, event, snap); err != nil {
+			return
+		}
+		flusher.Flush()
+		return
+	}
 
 	ch := j.bcast.subscribe()
 	defer j.bcast.unsubscribe(ch)
@@ -221,12 +236,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
+	var memBytes, diskBytes, diskEntries float64
+	if s.store != nil {
+		memBytes, diskBytes = float64(s.store.memBytes), float64(s.store.diskBytes)
+		for _, e := range s.store.entries {
+			if e.onDisk {
+				diskEntries++
+			}
+		}
+	} else {
+		for _, j := range s.byKey {
+			memBytes += float64(len(j.result))
+		}
+	}
 	gauges := []gauge{
 		{"queue_depth", "Jobs waiting for a worker.", float64(len(s.queue))},
 		{"queue_capacity", "Queue depth bound; submissions beyond it get 429.", float64(s.cfg.QueueDepth)},
 		{"jobs_running", "Jobs currently executing.", float64(s.running)},
 		{"workers", "Worker-pool width.", float64(s.cfg.Workers)},
 		{"cache_entries", "Jobs retained in the content-addressed store.", float64(len(s.byKey))},
+		{"cache_bytes_memory", "Result bytes resident in the memory tier.", memBytes},
+		{"cache_bytes_disk", "Result bytes persisted in the disk tier.", diskBytes},
+		{"cache_budget_bytes", "Byte budget across both tiers; 0 = unlimited.", float64(s.cfg.CacheBudget)},
+		{"disk_entries", "Entries persisted in the disk tier.", diskEntries},
 		{"draining", "1 while draining (new submissions rejected).", boolGauge(s.draining)},
 	}
 	s.mu.Unlock()

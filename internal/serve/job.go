@@ -244,6 +244,31 @@ type job struct {
 	bcast  *broadcaster
 }
 
+// warmJob materializes one disk-tier catalog entry as a done job: the
+// same ID, timestamps, and hit count it had before the restart, with
+// the result body left on disk until its first use. Lifecycle channels
+// are pre-closed — the job finished in a previous process.
+func warmJob(e indexEntry) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already terminal; nothing will ever read this context
+	done := make(chan struct{})
+	close(done)
+	return &job{
+		id:          e.ID,
+		key:         e.Key,
+		kind:        e.Kind,
+		status:      StatusDone,
+		submittedAt: e.SubmittedAt,
+		startedAt:   e.StartedAt,
+		finishedAt:  e.FinishedAt,
+		hits:        e.Hits,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        done,
+		bcast:       newBroadcaster(),
+	}
+}
+
 // snapshot builds the public view; callers hold the server mutex.
 func (j *job) snapshot() Job {
 	out := Job{

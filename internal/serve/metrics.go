@@ -64,16 +64,24 @@ func newJobHistogram() *telemetry.Histogram {
 // counterHelp documents the exported counters; keep in sorted name order
 // with the writer below.
 var counterHelp = map[string]string{
-	"cache_evictions_total":          "Completed jobs evicted to bound the result cache.",
-	"cache_hits_total":               "Submissions answered entirely from the result cache.",
+	"cache_evictions_total":          "Entries evicted entirely from the result cache (count bound or byte budget).",
+	"cache_hits_total":               "Submissions answered entirely from the result cache (either tier).",
 	"cache_misses_total":             "Submissions that started a new run.",
 	"dedup_hits_total":               "Submissions that attached to an identical in-flight job (single-flight).",
+	"disk_corrupt_total":             "Persisted results discarded because read-back verification failed.",
+	"disk_write_errors_total":        "Disk-tier writes (bodies or index) that failed; affected entries stayed memory-only.",
+	"index_resets_total":             "Boot-time index loads that failed and reset the disk tier.",
 	"jobs_cancelled_total":           "Jobs that ended cancelled.",
 	"jobs_executed_total":            "Runs actually executed by the worker pool.",
 	"jobs_failed_total":              "Jobs that ended in an error.",
 	"jobs_submitted_total":           "Submissions accepted (including cache and dedup hits).",
 	"submit_rejected_draining_total": "Submissions rejected with 503 during drain.",
 	"submit_rejected_full_total":     "Submissions rejected with 429 because the queue was full.",
+	"tier_demotions_total":           "Memory-tier bodies demoted to disk-only to fit the resident bound.",
+	"tier_hits_disk_total":           "Cache hits served by promoting a demoted entry from the disk tier.",
+	"tier_hits_memory_total":         "Cache hits served from the memory tier.",
+	"tier_misses_disk_total":         "Disk-tier reads that found no servable entry (missing or corrupt) and forced a recompute.",
+	"tier_promotions_total":          "Disk entries promoted back into the memory tier.",
 }
 
 // gauge is one live value the server computes at scrape time.

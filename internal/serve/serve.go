@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -30,8 +29,21 @@ type Config struct {
 	CacheEntries int
 	// CacheIndexPath, when non-empty, receives a JSON index of the cache
 	// (key, job ID, kind, status, hit counts) when Drain completes, so an
-	// operator can audit what the daemon served.
+	// operator can audit what the daemon served. It uses the same codec
+	// as the disk tier's persistent index and is written atomically.
 	CacheIndexPath string
+	// CacheDir, when non-empty, enables the disk tier: result bodies are
+	// persisted crash-safely at CacheDir/<canonical-key> as they
+	// complete, cataloged by CacheDir/index.json, and warmed lazily on
+	// boot — a restarted daemon serves previously computed results
+	// byte-identically, with "cached":true, without recomputing. Empty
+	// disables the tier (memory-only, the pre-disk behavior).
+	CacheDir string
+	// CacheBudget bounds the total retained result bytes across both
+	// tiers (each entry counted once). Least-recently-used entries are
+	// evicted entirely when it is exceeded. 0 means unlimited. Only
+	// meaningful with CacheDir set.
+	CacheBudget int64
 	// Clock injects time for tests (default time.Now). All job
 	// timestamps and latency observations go through it.
 	Clock func() time.Time
@@ -61,6 +73,7 @@ type Server struct {
 	metrics *metricsRegistry
 
 	mu       sync.Mutex
+	store    *resultStore // disk tier bookkeeping; nil when CacheDir is empty
 	byKey    map[string]*job
 	order    []string // submission order of keys, for listing and eviction
 	queue    chan *job
@@ -76,19 +89,48 @@ type Server struct {
 	beforeExecute func(j *job)
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With CacheDir set it
+// also opens the disk tier: stale temp files and unindexed bodies are
+// swept, the index is loaded (a mangled one resets the tier), and every
+// cataloged result reappears as a done job whose body stays on disk
+// until its first hit.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		metrics: newMetrics(),
 		byKey:   map[string]*job{},
+	}
+	if s.cfg.CacheDir != "" {
+		store, warm, err := newResultStore(s.cfg.CacheDir, s.cfg.CacheBudget, s.cfg.CacheEntries, s.metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		for _, e := range warm {
+			j := warmJob(e)
+			s.byKey[j.key] = j
+			s.order = append(s.order, j.key)
+			s.store.adopt(j, e)
+		}
+		// The budget may have shrunk since the catalog was written:
+		// trim the warm set LRU-first before serving anything.
+		for s.store.budget > 0 && s.store.total > s.store.budget {
+			victim := s.store.lru(nil, false)
+			if victim == nil {
+				break
+			}
+			s.store.dropEntry(victim)
+			s.metrics.inc("cache_evictions_total", 1)
+			s.removeJobLocked(victim.j)
+		}
+		s.store.flushIndex()
 	}
 	s.queue = make(chan *job, s.cfg.QueueDepth)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // submitOutcome reports how a submission was satisfied.
@@ -120,9 +162,20 @@ func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
 	if j, ok := s.byKey[key]; ok {
 		switch {
 		case j.status == StatusDone:
-			j.hits++
-			s.metrics.inc("cache_hits_total", 1)
-			return j.snapshot(), outcomeCached
+			fromDisk := s.store != nil && j.result == nil
+			if s.promoteLocked(j) {
+				if fromDisk {
+					s.metrics.inc("tier_hits_disk_total", 1)
+				} else {
+					s.metrics.inc("tier_hits_memory_total", 1)
+				}
+				j.hits++
+				s.metrics.inc("cache_hits_total", 1)
+				return j.snapshot(), outcomeCached
+			}
+			// The persisted result failed verification and was discarded
+			// (promoteLocked already removed the job): recompute under the
+			// same key — a corrupt entry must never serve bad bytes.
 		case !j.terminal():
 			j.hits++
 			s.metrics.inc("dedup_hits_total", 1)
@@ -161,8 +214,46 @@ func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
 	return j.snapshot(), outcomeNew
 }
 
+// promoteLocked ensures a done job's result bytes are in memory,
+// promoting from the disk tier when demoted. It reports false when the
+// result is lost — the disk copy missing or failing verification — in
+// which case the job is removed from the store entirely (like an
+// eviction) and the caller recomputes or 404s. Without a disk tier a
+// done job's bytes are always resident and this is a no-op. Callers
+// hold s.mu.
+func (s *Server) promoteLocked(j *job) bool {
+	if s.store == nil || j.result != nil {
+		if s.store != nil {
+			s.store.touch(j.key)
+		}
+		return true
+	}
+	if s.store.promote(j) {
+		s.store.flushIndex() // LRU order moved; keep the catalog current
+		return true
+	}
+	s.removeJobLocked(j)
+	s.store.flushIndex()
+	return false
+}
+
+// removeJobLocked forgets a job entirely. Callers hold s.mu.
+func (s *Server) removeJobLocked(j *job) {
+	delete(s.byKey, j.key)
+	for i, key := range s.order {
+		if key == j.key {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
 // evictLocked drops the oldest finished jobs until the store fits the
-// configured bound; in-flight jobs are never evicted. Callers hold s.mu.
+// configured bound; in-flight jobs are never evicted. With the disk
+// tier enabled, done jobs are exempt — their retention is the result
+// store's business (CacheEntries bounds resident bodies via demotion,
+// CacheBudget bounds total bytes via LRU eviction) — so only failed and
+// cancelled husks are reaped here. Callers hold s.mu.
 func (s *Server) evictLocked() {
 	excess := len(s.byKey) - s.cfg.CacheEntries
 	if excess <= 0 {
@@ -171,7 +262,8 @@ func (s *Server) evictLocked() {
 	kept := s.order[:0]
 	for _, key := range s.order {
 		j := s.byKey[key]
-		if excess > 0 && j != nil && j.terminal() {
+		evictable := j != nil && j.terminal() && (s.store == nil || j.status != StatusDone)
+		if excess > 0 && evictable {
 			delete(s.byKey, key)
 			s.metrics.inc("cache_evictions_total", 1)
 			excess--
@@ -220,7 +312,17 @@ func (s *Server) runJob(j *job) {
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.result = result
+		if s.store != nil {
+			// Write-through: the body lands on disk (crash-safely) in the
+			// same critical section that flips the status, so any client
+			// that observes "done" can rely on the entry surviving a
+			// crash. The byte budget may evict older entries entirely.
+			for _, ej := range s.store.put(j, result) {
+				s.removeJobLocked(ej)
+			}
+		} else {
+			j.result = result
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusCancelled
 		j.err = err
@@ -314,6 +416,27 @@ func (s *Server) lookup(id string) (*job, bool) {
 	return nil, false
 }
 
+// snapshotByID returns the public snapshot of the job with the given
+// ID, promoting its result from the disk tier first when demoted — a
+// disk hit must be indistinguishable from a memory hit at the HTTP
+// surface. A done job whose persisted result fails verification is
+// discarded (reported as not found, exactly like an eviction); the next
+// submission of its configuration recomputes it.
+func (s *Server) snapshotByID(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.byKey {
+		if j.id != id {
+			continue
+		}
+		if j.status == StatusDone && !s.promoteLocked(j) {
+			return Job{}, false
+		}
+		return j.snapshot(), true
+	}
+	return Job{}, false
+}
+
 // cancelJob cancels a job by ID, best-effort: a queued job is struck
 // before it runs; a running experiment stops at its next sweep point; a
 // running simulation completes (single runs are not interruptible) and
@@ -349,15 +472,24 @@ func (s *Server) cancelJob(id string) (Job, bool) {
 	return snap, true
 }
 
-// jobs lists snapshots in submission order.
+// jobs lists snapshots in submission order. Snapshots carry result
+// bodies inline, so demoted entries are promoted on the way out (and
+// entries that fail verification vanish from the listing, like
+// evictions); listing is deliberately a full read of the cache.
 func (s *Server) jobs() []Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]Job, 0, len(s.order))
-	for _, key := range s.order {
-		if j, ok := s.byKey[key]; ok {
-			out = append(out, j.snapshot())
+	keys := append([]string(nil), s.order...) // promotion failures mutate s.order
+	out := make([]Job, 0, len(keys))
+	for _, key := range keys {
+		j, ok := s.byKey[key]
+		if !ok {
+			continue
 		}
+		if j.status == StatusDone && !s.promoteLocked(j) {
+			continue
+		}
+		out = append(out, j.snapshot())
 	}
 	return out
 }
@@ -412,35 +544,35 @@ func (s *Server) Drain(ctx context.Context) error {
 	return drainErr
 }
 
-// cacheIndexEntry is one line of the drained cache index.
-type cacheIndexEntry struct {
-	Key    string `json:"key"`
-	ID     string `json:"id"`
-	Kind   string `json:"kind"`
-	Status string `json:"status"`
-	Hits   int64  `json:"hits"`
-}
-
-// flushCacheIndex writes the cache index JSON to the configured path.
+// flushCacheIndex flushes the persistent disk-tier catalog (refreshing
+// hit counts and LRU positions) and, when configured, the drain-time
+// audit dump. Both go through the same codec and the same atomic write
+// path — there is exactly one way an index reaches disk.
 func (s *Server) flushCacheIndex() error {
+	s.mu.Lock()
+	if s.store != nil {
+		s.store.flushIndex()
+	}
 	if s.cfg.CacheIndexPath == "" {
+		s.mu.Unlock()
 		return nil
 	}
-	s.mu.Lock()
-	entries := make([]cacheIndexEntry, 0, len(s.order))
+	f := indexFile{Version: indexVersion}
 	for _, key := range s.order {
 		j, ok := s.byKey[key]
 		if !ok {
 			continue
 		}
-		entries = append(entries, cacheIndexEntry{
-			Key: j.key, ID: j.id, Kind: j.kind, Status: j.status, Hits: j.hits,
-		})
+		var e *storeEntry
+		if s.store != nil {
+			e = s.store.entries[key]
+		}
+		f.Entries = append(f.Entries, auditEntry(j, e))
 	}
 	s.mu.Unlock()
-	b, err := json.MarshalIndent(entries, "", "  ")
+	b, err := encodeIndex(f)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(s.cfg.CacheIndexPath, append(b, '\n'), 0o644)
+	return atomicWriteFile(s.cfg.CacheIndexPath, b)
 }

@@ -29,7 +29,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Clock == nil {
 		cfg.Clock = func() time.Time { return fixedTime }
 	}
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -541,12 +544,21 @@ func TestDrain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cache index not flushed: %v", err)
 	}
-	var entries []cacheIndexEntry
-	if err := json.Unmarshal(b, &entries); err != nil {
+	// The audit dump shares the disk tier's codec, so it must decode and
+	// validate through the same path the warm boot trusts.
+	idx, err := decodeIndex(b)
+	if err != nil {
 		t.Fatalf("decode cache index: %v", err)
 	}
-	if len(entries) != 1 || entries[0].Status != StatusDone || entries[0].ID != running.Job.ID {
-		t.Fatalf("unexpected cache index: %+v", entries)
+	e := idx.Entries
+	if len(e) != 1 || e[0].Status != StatusDone || e[0].ID != running.Job.ID {
+		t.Fatalf("unexpected cache index: %+v", e)
+	}
+	if e[0].Size == 0 || !isHexKey(e[0].BodySHA256) {
+		t.Fatalf("audit entry missing body accounting: %+v", e[0])
+	}
+	if _, err := os.Stat(idxPath + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("audit dump left temp debris: %v", err)
 	}
 }
 

@@ -1,0 +1,446 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// resultFileMagic heads every persisted result body. The full header
+// line is
+//
+//	neofog-result v1 <canonical-key> <sha256-of-body> <body-len>\n
+//
+// followed by the body bytes verbatim, which makes every cache file
+// self-verifying: read-back checks the filename against the embedded
+// key, the length against the embedded length, and the body against the
+// embedded hash (and the index's copy of it) before a byte is served.
+const resultFileMagic = "neofog-result v1"
+
+// indexFileName is the disk tier's catalog inside CacheDir. Result
+// bodies live beside it under their canonical key.
+const indexFileName = "index.json"
+
+// resultStore places done-result bodies across two tiers: the memory
+// tier (job.result, the bytes served verbatim) and the disk tier
+// (CacheDir/<key> files written through on completion). The store is a
+// bookkeeping layer, not a lock domain: every method is called with the
+// owning Server's mutex held, so fields need no locking of their own.
+//
+// Tier invariants:
+//
+//   - write-through: a retained entry's bytes are on disk (crash-safe
+//     temp+fsync+rename) unless the persist failed, in which case the
+//     entry is memory-only and counted by disk_write_errors_total;
+//   - the memory tier is a cache over disk: demotion just drops the RAM
+//     copy, promotion reads it back and verifies it against the SHA-256
+//     recorded at write time — corrupt or truncated files are discarded
+//     and their jobs recomputed, never served;
+//   - the byte budget spans both tiers, counting each entry once (the
+//     durable copy); when exceeded, least-recently-used entries are
+//     evicted entirely — file, RAM copy, and job — except the entry
+//     just written, which survives until the next put even if oversized
+//     so a completing job can always serve its own result.
+type resultStore struct {
+	dir      string // result files + index live here
+	budget   int64  // total retained bytes across tiers; 0 = unlimited
+	memLimit int    // max memory-resident bodies before demotion
+	metrics  *metricsRegistry
+
+	seq       int64 // LRU clock; monotone per store use
+	entries   map[string]*storeEntry
+	memCount  int
+	memBytes  int64
+	diskBytes int64
+	total     int64 // each entry counted once, resident or not
+
+	// crashHook, when non-nil, runs between a result file's fsynced temp
+	// write and its rename; returning false aborts before the rename,
+	// simulating a crash that leaves .tmp debris. Tests set it under the
+	// server mutex; production never does.
+	crashHook func(key string) bool
+}
+
+// storeEntry is the placement record for one done job's result.
+type storeEntry struct {
+	j        *job
+	size     int64
+	sum      string // hex SHA-256 of the body, fixed at put time
+	onDisk   bool
+	lastUsed int64
+}
+
+// inMemory reports whether the entry's bytes are RAM-resident.
+func (e *storeEntry) inMemory() bool { return e.j.result != nil }
+
+// newResultStore opens (or creates) the disk tier at dir and returns the
+// store plus the warm entries the index catalogs. Boot is the recovery
+// point of the crash-safety story: stale .tmp debris is swept, result
+// files the index does not vouch for are deleted (they are exactly the
+// files a crash between body rename and index write can leave), and a
+// missing or mangled index resets the tier — every file is removed and
+// the daemon starts cold rather than trust an unverifiable catalog.
+// Bodies are NOT read here; entries warm lazily, on first hit.
+func newResultStore(dir string, budget int64, memLimit int, m *metricsRegistry) (*resultStore, []indexEntry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	rs := &resultStore{
+		dir: dir, budget: budget, memLimit: memLimit, metrics: m,
+		entries: map[string]*storeEntry{},
+	}
+
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	present := map[string]bool{}
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+		case strings.HasSuffix(name, ".tmp"):
+			os.Remove(filepath.Join(dir, name)) // crash debris: never servable
+		case isHexKey(name):
+			present[name] = true
+		}
+	}
+
+	var warm []indexEntry
+	raw, err := os.ReadFile(filepath.Join(dir, indexFileName))
+	switch {
+	case os.IsNotExist(err):
+		// Cold start. Any result files without an index are orphans from
+		// a crash before the first index write; remove them below.
+	case err != nil:
+		return nil, nil, fmt.Errorf("serve: cache index: %w", err)
+	default:
+		idx, derr := decodeIndex(raw)
+		if derr != nil {
+			// Mangled index: the catalog (and its hashes) cannot be
+			// trusted, so neither can any file it might have described.
+			rs.metrics.inc("index_resets_total", 1)
+		} else {
+			warm = idx.Entries
+		}
+	}
+
+	indexed := map[string]bool{}
+	kept := warm[:0]
+	for _, e := range warm {
+		if e.Status != StatusDone || !present[e.Key] {
+			continue // only verified done bodies are servable, and only if the file survived
+		}
+		indexed[e.Key] = true
+		kept = append(kept, e)
+		if e.LastUsed > rs.seq {
+			rs.seq = e.LastUsed
+		}
+	}
+	for name := range present {
+		if !indexed[name] {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+	return rs, kept, nil
+}
+
+// adopt registers a warm-boot job against its index entry; bodies stay
+// on disk until first use.
+func (rs *resultStore) adopt(j *job, e indexEntry) {
+	rs.entries[j.key] = &storeEntry{
+		j: j, size: e.Size, sum: e.BodySHA256, onDisk: true, lastUsed: e.LastUsed,
+	}
+	rs.diskBytes += e.Size
+	rs.total += e.Size
+}
+
+func (rs *resultStore) tick() int64 {
+	rs.seq++
+	return rs.seq
+}
+
+// touch refreshes a key's LRU position.
+func (rs *resultStore) touch(key string) {
+	if e, ok := rs.entries[key]; ok {
+		e.lastUsed = rs.tick()
+	}
+}
+
+// resultPath is the body file for a key.
+func (rs *resultStore) resultPath(key string) string { return filepath.Join(rs.dir, key) }
+
+// put retains a just-completed job's result: bytes into the memory tier,
+// written through to disk, accounted against the budget. It returns the
+// jobs whose entries the byte budget evicted entirely (never j itself);
+// the caller drops them from its own store.
+func (rs *resultStore) put(j *job, body []byte) (evicted []*job) {
+	if old, ok := rs.entries[j.key]; ok {
+		rs.dropEntry(old) // a recompute replaces whatever stale entry remained
+	}
+	sum := sha256.Sum256(body)
+	e := &storeEntry{
+		j:        j,
+		size:     int64(len(body)),
+		sum:      hex.EncodeToString(sum[:]),
+		lastUsed: rs.tick(),
+	}
+	j.result = body
+	rs.entries[j.key] = e
+	rs.memCount++
+	rs.memBytes += e.size
+	rs.total += e.size
+
+	if err := rs.writeResult(j.key, e.sum, body); err == nil {
+		e.onDisk = true
+		rs.diskBytes += e.size
+	} else {
+		rs.metrics.inc("disk_write_errors_total", 1)
+	}
+
+	rs.demoteOverflow(e)
+	for rs.budget > 0 && rs.total > rs.budget {
+		victim := rs.lru(e, false)
+		if victim == nil {
+			break // only the fresh entry remains; it survives until the next put
+		}
+		rs.dropEntry(victim)
+		rs.metrics.inc("cache_evictions_total", 1)
+		evicted = append(evicted, victim.j)
+	}
+	rs.flushIndex()
+	return evicted
+}
+
+// promote makes j's result RAM-resident, reading it back from disk and
+// verifying it if demoted. It reports false when the entry is lost —
+// missing or failing verification — in which case the entry (and its
+// file) are already discarded and the caller must recompute; bad bytes
+// are never returned.
+func (rs *resultStore) promote(j *job) bool {
+	e, ok := rs.entries[j.key]
+	if !ok {
+		return j.result != nil
+	}
+	e.lastUsed = rs.tick()
+	if e.inMemory() {
+		return true
+	}
+	body, err := rs.readResult(j.key, e.sum, e.size)
+	if err != nil {
+		rs.metrics.inc("tier_misses_disk_total", 1)
+		if !os.IsNotExist(err) {
+			rs.metrics.inc("disk_corrupt_total", 1)
+		}
+		rs.dropEntry(e)
+		return false
+	}
+	j.result = body
+	rs.memCount++
+	rs.memBytes += e.size
+	rs.metrics.inc("tier_promotions_total", 1)
+	rs.demoteOverflow(e)
+	return true
+}
+
+// demoteOverflow drops RAM copies, least recently used first, until the
+// memory tier fits its bound. keep (the entry being served right now) is
+// never demoted. An entry that never made it to disk is given one more
+// persist attempt; if that fails too it stays resident — an overshoot
+// bounded by the number of failing writes — because dropping its only
+// copy would violate "never lose a verified entry".
+func (rs *resultStore) demoteOverflow(keep *storeEntry) {
+	guard := len(rs.entries)
+	for rs.memCount > rs.memLimit && guard > 0 {
+		guard--
+		victim := rs.lru(keep, true)
+		if victim == nil {
+			return
+		}
+		if !victim.onDisk {
+			if err := rs.writeResult(victim.j.key, victim.sum, victim.j.result); err != nil {
+				rs.metrics.inc("disk_write_errors_total", 1)
+				victim.lastUsed = rs.tick() // stop reselecting the same unpersistable entry
+				continue
+			}
+			victim.onDisk = true
+			rs.diskBytes += victim.size
+		}
+		victim.j.result = nil
+		rs.memCount--
+		rs.memBytes -= victim.size
+		rs.metrics.inc("tier_demotions_total", 1)
+	}
+}
+
+// lru returns the least-recently-used entry other than keep, optionally
+// restricted to RAM-resident entries; nil when no candidate exists.
+func (rs *resultStore) lru(keep *storeEntry, memoryOnly bool) *storeEntry {
+	var victim *storeEntry
+	for _, e := range rs.entries {
+		if e == keep || (memoryOnly && !e.inMemory()) {
+			continue
+		}
+		if victim == nil || e.lastUsed < victim.lastUsed {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// dropEntry removes an entry from both tiers and the accounting.
+func (rs *resultStore) dropEntry(e *storeEntry) {
+	if e.inMemory() {
+		e.j.result = nil
+		rs.memCount--
+		rs.memBytes -= e.size
+	}
+	if e.onDisk {
+		os.Remove(rs.resultPath(e.j.key))
+		rs.diskBytes -= e.size
+	}
+	rs.total -= e.size
+	delete(rs.entries, e.j.key)
+}
+
+// writeResult persists one body crash-safely: header + body to
+// <key>.tmp, fsync, then rename over <key>. The crash hook sits exactly
+// in the window the rename closes.
+func (rs *resultStore) writeResult(key, sum string, body []byte) error {
+	header := fmt.Sprintf("%s %s %s %d\n", resultFileMagic, key, sum, len(body))
+	tmp := rs.resultPath(key) + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(header); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if rs.crashHook != nil && !rs.crashHook(key) {
+		// Simulated crash: the process "died" after the temp write and
+		// before the rename. The .tmp debris stays for boot to sweep.
+		return fmt.Errorf("serve: injected crash before rename of %s", key)
+	}
+	if err := os.Rename(tmp, rs.resultPath(key)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(rs.dir)
+}
+
+// readResult reads one body back and verifies it end to end: magic, the
+// embedded key against the filename, the embedded and indexed lengths,
+// and the body's SHA-256 against both the header's copy and the index's
+// copy. Any mismatch is one error; the caller discards the entry.
+func (rs *resultStore) readResult(key, wantSum string, wantSize int64) ([]byte, error) {
+	raw, err := os.ReadFile(rs.resultPath(key))
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("serve: result %s: no header", key)
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 5 || fields[0]+" "+fields[1] != resultFileMagic {
+		return nil, fmt.Errorf("serve: result %s: bad header", key)
+	}
+	if fields[2] != key {
+		return nil, fmt.Errorf("serve: result %s: header names key %s", key, fields[2])
+	}
+	body := raw[nl+1:]
+	n, err := strconv.ParseInt(fields[4], 10, 64)
+	if err != nil || n != int64(len(body)) || n != wantSize {
+		return nil, fmt.Errorf("serve: result %s: length mismatch (header %s, body %d, index %d)",
+			key, fields[4], len(body), wantSize)
+	}
+	sum := sha256.Sum256(body)
+	got := hex.EncodeToString(sum[:])
+	if got != fields[3] || got != wantSum {
+		return nil, fmt.Errorf("serve: result %s: body hash mismatch", key)
+	}
+	return body, nil
+}
+
+// indexSnapshot renders the current catalog: every retained done entry,
+// in LRU order (stable across encode/decode, and the order warm jobs are
+// re-listed in after a restart).
+func (rs *resultStore) indexSnapshot() indexFile {
+	entries := make([]indexEntry, 0, len(rs.entries))
+	for _, e := range rs.entries {
+		if !e.onDisk {
+			continue // memory-only entries die with the process; cataloging them would lie
+		}
+		entries = append(entries, indexEntryFor(e.j, e.size, e.sum, e.lastUsed))
+	}
+	sort.Slice(entries, func(i, k int) bool { return entries[i].LastUsed < entries[k].LastUsed })
+	return indexFile{Version: indexVersion, Entries: entries}
+}
+
+// flushIndex writes the catalog atomically beside the bodies. Called on
+// every mutation (put, eviction) and at drain; a crash between a body
+// rename and this write leaves an unindexed file that boot removes.
+func (rs *resultStore) flushIndex() {
+	b, err := encodeIndex(rs.indexSnapshot())
+	if err != nil {
+		rs.metrics.inc("disk_write_errors_total", 1)
+		return
+	}
+	if err := atomicWriteFile(filepath.Join(rs.dir, indexFileName), b); err != nil {
+		rs.metrics.inc("disk_write_errors_total", 1)
+	}
+}
+
+// indexEntryFor builds the persistent record of one job.
+func indexEntryFor(j *job, size int64, sum string, lastUsed int64) indexEntry {
+	return indexEntry{
+		Key:         j.key,
+		ID:          j.id,
+		Kind:        j.kind,
+		Status:      j.status,
+		Hits:        j.hits,
+		Size:        size,
+		BodySHA256:  sum,
+		SubmittedAt: j.submittedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+		LastUsed:    lastUsed,
+	}
+}
+
+// auditEntry is indexEntryFor for the drain-time audit dump, covering
+// jobs in any state (and computing the body hash for memory-only
+// results so the dump is self-consistent with the disk tier's records).
+func auditEntry(j *job, e *storeEntry) indexEntry {
+	switch {
+	case e != nil:
+		return indexEntryFor(j, e.size, e.sum, e.lastUsed)
+	case j.result != nil:
+		sum := sha256.Sum256(j.result)
+		return indexEntryFor(j, int64(len(j.result)), hex.EncodeToString(sum[:]), 0)
+	default:
+		return indexEntryFor(j, 0, "", 0)
+	}
+}
