@@ -20,6 +20,19 @@
 // SIGINT/SIGTERM drain gracefully: new submissions get 503 while queued
 // and running jobs finish (bounded by -drain-timeout), then the cache
 // index is flushed and the process exits.
+//
+// Failure containment (see DESIGN.md):
+//
+//	neofog-serve -default-deadline 60s -max-deadline 5m   # deadline-aware admission
+//	neofog-serve -require-disk                            # /readyz 503s while disk degraded
+//	neofog-serve -access-log                              # structured request log on stderr
+//
+// A dying disk under -cache-dir trips a circuit breaker: the daemon
+// degrades to memory-only serving (still byte-identical results) and
+// auto-recovers when probes succeed, instead of failing requests or
+// exiting. Panicking jobs are quarantined per key with a capped retry
+// count and TTL. /readyz (distinct from /healthz) turns 503 the moment a
+// drain begins so load balancers stop routing before connections drop.
 package main
 
 import (
@@ -56,6 +69,20 @@ func run() error {
 		cacheIndex   = flag.String("cache-index", "", "write a JSON audit index here on drain")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight jobs on shutdown")
 		showVer      = flag.Bool("version", false, "print build version and exit")
+
+		defaultDeadline = flag.Duration("default-deadline", 0, "deadline applied to submissions that carry none (0 = unbounded)")
+		maxDeadline     = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
+		poisonRetries   = flag.Int("poison-retries", 3, "panicked runs allowed per job key before submissions are rejected")
+		poisonTTL       = flag.Duration("poison-ttl", 5*time.Minute, "how long a panic quarantine lasts")
+		breakerThresh   = flag.Int("breaker-threshold", 3, "consecutive disk I/O errors that trip the breaker to memory-only")
+		breakerProbe    = flag.Duration("breaker-probe", 5*time.Second, "how long the breaker stays open before probing the disk again")
+		requireDisk     = flag.Bool("require-disk", false, "report not-ready on /readyz while the disk breaker is open")
+		accessLog       = flag.Bool("access-log", false, "log one structured line per request on stderr")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", 60*time.Second, "http server ReadTimeout")
+		writeTimeout      = flag.Duration("write-timeout", 60*time.Second, "http server WriteTimeout (SSE streams are exempted per response)")
+		idleTimeout       = flag.Duration("idle-timeout", 120*time.Second, "http server IdleTimeout for keep-alive connections")
 	)
 	flag.Parse()
 
@@ -65,18 +92,40 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "neofog-serve: ", log.LstdFlags)
-	srv, err := serve.New(serve.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		CacheIndexPath: *cacheIndex,
-		CacheDir:       *cacheDir,
-		CacheBudget:    *cacheBudget,
-	})
+	cfg := serve.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		CacheIndexPath:   *cacheIndex,
+		CacheDir:         *cacheDir,
+		CacheBudget:      *cacheBudget,
+		DefaultDeadline:  *defaultDeadline,
+		MaxDeadline:      *maxDeadline,
+		PoisonRetries:    *poisonRetries,
+		PoisonTTL:        *poisonTTL,
+		BreakerThreshold: *breakerThresh,
+		BreakerProbe:     *breakerProbe,
+		RequireDisk:      *requireDisk,
+		ErrorLog:         logger,
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stderr
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Hardened against slowloris and stuck peers; handleStream lifts the
+	// write deadline per SSE response via http.ResponseController.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		ErrorLog:          logger,
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -37,7 +37,36 @@
 //     Config.CacheBudget bounds total retained bytes across both tiers
 //     (LRU eviction beyond it).
 //
-// Operations: /healthz reports build version and live job counts,
+// The containment layer (PR7) bounds what failure can cost:
+//
+//   - deadlines: a submission may carry a budget (?deadline= or the
+//     X-Neofog-Deadline header; Config.DefaultDeadline/MaxDeadline set
+//     policy) that becomes the job context's deadline, and admission is
+//     deadline-aware — when the predicted queue wait (from the live
+//     latency histograms) already exceeds the budget, the submit is
+//     rejected with 429 and a Retry-After hint instead of queuing
+//     doomed work;
+//   - panic quarantine: a panicking job is recovered on the worker
+//     (one job lost, never a goroutine), finalized with the distinct
+//     terminal status "poisoned", and its key quarantined after
+//     Config.PoisonRetries strikes for Config.PoisonTTL — submissions
+//     meanwhile get 422 with the remaining TTL as Retry-After;
+//   - disk circuit breaker: the store's filesystem ops go through the
+//     injectable FS interface, and Config.BreakerThreshold consecutive
+//     I/O errors trip a breaker that degrades the daemon to
+//     memory-only serving (writes skipped, results still computed and
+//     exact); half-open probes every Config.BreakerProbe detect
+//     recovery, which re-persists the backlog automatically. A daemon
+//     that boots on an unusable cache dir degrades instead of dying;
+//   - a retrying client: the internal/serve/client package pairs with
+//     the server — capped full-jitter backoff floored by Retry-After,
+//     typed errors (APIError, JobError), and idempotent resubmission
+//     across restarts by content address. TestChaosCampaign exercises
+//     all of the above at once under a fixed seed.
+//
+// Operations: /healthz reports build version, live job counts, and the
+// disk tier's state; /readyz is the routing signal (503 while draining,
+// and while degraded under Config.RequireDisk);
 // /metrics exposes Prometheus text-format counters, gauges and latency
 // histograms (reusing internal/telemetry's fixed-bucket histograms), and
 // Drain implements graceful shutdown — new submissions are rejected with
@@ -53,6 +82,8 @@
 //	GET    /v1/jobs/{id}/stream  SSE: status, span, sample, ..., result
 //	DELETE /v1/jobs/{id}         best-effort cancel
 //	GET    /v1/experiments       servable experiment IDs
-//	GET    /healthz              liveness, version, job counts
+//	GET    /healthz              liveness, version, job counts, disk state
+//	GET    /readyz               readiness (503: draining, or degraded
+//	                             disk under Config.RequireDisk)
 //	GET    /metrics              Prometheus text format
 package serve

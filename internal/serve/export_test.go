@@ -1,0 +1,29 @@
+package serve
+
+// Test-only exports for external test packages (the chaos harness lives
+// in package serve_test because it drives the server through
+// internal/serve/client, which imports this package).
+
+// SetExecHookForTest installs fn to run on the worker goroutine at the
+// start of every execution, keyed by the job's canonical key. Panics
+// from fn exercise the quarantine path exactly like facade panics.
+func SetExecHookForTest(s *Server, fn func(key string)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fn == nil {
+		s.beforeExecute = nil
+		return
+	}
+	s.beforeExecute = func(j *job) { fn(j.key) }
+}
+
+// CounterForTest reads one metrics counter.
+func CounterForTest(s *Server, name string) int64 { return s.metrics.counter(name) }
+
+// DiskStateForTest reports the disk tier's health string ("off", "ok",
+// "degraded"), as /healthz would.
+func DiskStateForTest(s *Server) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.diskStateLocked()
+}

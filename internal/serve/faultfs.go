@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the root of every error a FaultFS injects; tests match
+// it with errors.Is to distinguish injected faults from real ones.
+var ErrInjected = fmt.Errorf("faultfs: injected I/O error")
+
+// FaultFS wraps an FS with deterministic, seeded fault injection — the
+// disk-tier counterpart of internal/faults' seeded fault plans. Two
+// knobs compose:
+//
+//   - FailNext(n) fails exactly the next n operations, for pinning a
+//     precise breaker transition;
+//   - SetFailProb(p) fails each operation with probability p drawn from
+//     the seeded RNG, for chaos campaigns.
+//
+// Reads of files written while the FaultFS was healthy still verify
+// byte-identically: injection replaces the operation's outcome, never
+// its bytes. Safe for concurrent use; production never constructs one.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	failNext int
+	failProb float64
+	ops      int64
+	failures int64
+}
+
+// NewFaultFS wraps inner with seeded fault injection (initially
+// injecting nothing).
+func NewFaultFS(inner FS, seed int64) *FaultFS {
+	return &FaultFS{inner: inner, rng: rand.New(rand.NewSource(seed))}
+}
+
+// FailNext arms the next n operations to fail unconditionally.
+func (f *FaultFS) FailNext(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failNext = n
+}
+
+// SetFailProb sets the per-operation failure probability (0 disables).
+func (f *FaultFS) SetFailProb(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failProb = p
+}
+
+// Stats reports operations attempted and faults injected so far.
+func (f *FaultFS) Stats() (ops, failures int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops, f.failures
+}
+
+// inject decides one operation's fate under the seeded plan.
+func (f *FaultFS) inject(op, path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	fail := false
+	if f.failNext > 0 {
+		f.failNext--
+		fail = true
+	} else if f.failProb > 0 && f.rng.Float64() < f.failProb {
+		fail = true
+	}
+	if !fail {
+		return nil
+	}
+	f.failures++
+	return fmt.Errorf("%w: %s %s", ErrInjected, op, path)
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if err := f.inject("mkdir", dir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]os.DirEntry, error) {
+	if err := f.inject("readdir", dir); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(dir)
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err := f.inject("read", path); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) OpenWrite(path string) (FileWriter, error) {
+	if err := f.inject("open", path); err != nil {
+		return nil, err
+	}
+	w, err := f.inner.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: path, inner: w}, nil
+}
+
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if err := f.inject("rename", newPath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldPath, newPath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err := f.inject("remove", path); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.inject("syncdir", dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile threads injection through the write/sync path of one open
+// file, so a fault can land mid-write, not just at open.
+type faultFile struct {
+	fs    *FaultFS
+	path  string
+	inner FileWriter
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if err := w.fs.inject("write", w.path); err != nil {
+		return 0, err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if err := w.fs.inject("fsync", w.path); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error { return w.inner.Close() }

@@ -4,10 +4,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"neofog"
 	"neofog/internal/version"
 )
+
+// deadlineHeader is the header alternative to the ?deadline= query
+// parameter on POST /v1/jobs.
+const deadlineHeader = "X-Neofog-Deadline"
+
+// jobHeader carries the job ID on submission responses, so the access
+// log (and scripts) can correlate without parsing bodies.
+const jobHeader = "X-Neofog-Job"
 
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -20,7 +30,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.AccessLog != nil {
+		return s.accessLog(mux)
+	}
 	return mux
 }
 
@@ -45,6 +59,42 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
+// parseDeadline extracts the client's time budget from ?deadline= or the
+// X-Neofog-Deadline header (a Go duration, e.g. "30s"), falling back to
+// the configured default and clamping to the configured maximum.
+func (s *Server) parseDeadline(r *http.Request) (time.Duration, error) {
+	raw := r.URL.Query().Get("deadline")
+	if raw == "" {
+		raw = r.Header.Get(deadlineHeader)
+	}
+	d := s.cfg.DefaultDeadline
+	if raw != "" {
+		var err error
+		d, err = time.ParseDuration(raw)
+		if err != nil {
+			return 0, fmt.Errorf("bad deadline %q: %v", raw, err)
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("bad deadline %q: must be positive", raw)
+		}
+	}
+	if s.cfg.MaxDeadline > 0 && (d == 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	return d, nil
+}
+
+// setRetryAfter renders a server retry hint as a Retry-After header,
+// rounded up to whole seconds (minimum 1 — zero would mean "immediately",
+// which defeats the point of rejecting).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -57,12 +107,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, outcome := s.submit(norm, key)
+	deadline, err := s.parseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, outcome, retryAfter := s.submit(norm, key, deadline)
+	if snap.ID != "" {
+		w.Header().Set(jobHeader, snap.ID)
+	}
 	switch outcome {
 	case outcomeDraining:
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
 	case outcomeQueueFull:
+		setRetryAfter(w, retryAfter)
 		writeError(w, http.StatusTooManyRequests, "queue full (depth %d): retry later", s.cfg.QueueDepth)
+	case outcomeDeadline:
+		setRetryAfter(w, retryAfter)
+		writeError(w, http.StatusTooManyRequests,
+			"deadline %s shorter than predicted queue wait %s: retry later", deadline, retryAfter.Round(time.Millisecond))
+	case outcomePoisoned:
+		setRetryAfter(w, retryAfter)
+		writeError(w, http.StatusUnprocessableEntity,
+			"job key quarantined after repeated panics; retry after %s", retryAfter.Round(time.Second))
 	case outcomeCached:
 		writeJSON(w, http.StatusOK, SubmitResponse{Job: snap, Cached: true})
 	case outcomeDeduped:
@@ -99,6 +166,8 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		// cached, fresh, and post-restart reads are all identical.
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(snap.Result, '\n'))
+	case StatusPoisoned:
+		writeError(w, http.StatusUnprocessableEntity, "job %s %s: %s", snap.ID, snap.Status, snap.Error)
 	case StatusFailed, StatusCancelled:
 		writeError(w, http.StatusConflict, "job %s %s: %s", snap.ID, snap.Status, snap.Error)
 	default:
@@ -146,6 +215,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	terminal := j.terminal()
 	snap := j.snapshot()
 	s.mu.Unlock()
+
+	// SSE streams outlive any sane WriteTimeout: lift the server-wide
+	// write deadline for this response only (best-effort — not every
+	// ResponseWriter supports it, and a plain mux-under-test has none).
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
 
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -205,6 +279,7 @@ type healthBody struct {
 	Version  string         `json:"version"`
 	Revision string         `json:"revision,omitempty"`
 	Workers  int            `json:"workers"`
+	Disk     string         `json:"disk"` // "off", "ok", or "degraded"
 	Queue    queueHealth    `json:"queue"`
 	Jobs     map[string]int `json:"jobs"`
 }
@@ -221,6 +296,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Version:  version.String(),
 		Revision: version.Revision(),
 		Workers:  s.cfg.Workers,
+		Disk:     s.diskStateLocked(),
 		Queue:    queueHealth{Depth: len(s.queue), Capacity: s.cfg.QueueDepth},
 		Jobs:     s.countsLocked(),
 	}
@@ -232,6 +308,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, body)
+}
+
+// readyBody is the /readyz response.
+type readyBody struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz is the load-balancer signal, distinct from /healthz
+// (liveness): it flips to 503 the moment Drain begins — before
+// connections are cut — and, under -require-disk, while the disk breaker
+// is open, so traffic shifts to replicas with a working cache tier.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	disk := s.diskStateLocked()
+	s.mu.Unlock()
+	switch {
+	case draining:
+		writeJSON(w, http.StatusServiceUnavailable, readyBody{Ready: false, Reason: "draining"})
+	case s.cfg.RequireDisk && disk == "degraded":
+		writeJSON(w, http.StatusServiceUnavailable, readyBody{Ready: false, Reason: "disk tier degraded"})
+	default:
+		writeJSON(w, http.StatusOK, readyBody{Ready: true})
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -249,6 +350,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			memBytes += float64(len(j.result))
 		}
 	}
+	var breakerState float64
+	if s.store != nil {
+		breakerState = float64(s.store.brk.state)
+	}
 	gauges := []gauge{
 		{"queue_depth", "Jobs waiting for a worker.", float64(len(s.queue))},
 		{"queue_capacity", "Queue depth bound; submissions beyond it get 429.", float64(s.cfg.QueueDepth)},
@@ -259,6 +364,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"cache_bytes_disk", "Result bytes persisted in the disk tier.", diskBytes},
 		{"cache_budget_bytes", "Byte budget across both tiers; 0 = unlimited.", float64(s.cfg.CacheBudget)},
 		{"disk_entries", "Entries persisted in the disk tier.", diskEntries},
+		{"breaker_state", "Disk breaker state: 0 closed, 1 half-open, 2 open (degraded).", breakerState},
+		{"poisoned_keys", "Job keys currently quarantined after panics.", float64(len(s.poisoned))},
 		{"draining", "1 while draining (new submissions rejected).", boolGauge(s.draining)},
 	}
 	s.mu.Unlock()
@@ -271,4 +378,63 @@ func boolGauge(b bool) float64 {
 		return 1
 	}
 	return 0
+}
+
+// statusRecorder captures the response status for the access log while
+// staying transparent to streaming: it forwards Flush and exposes the
+// underlying writer via Unwrap so http.ResponseController still reaches
+// the real connection (the SSE write-deadline exemption depends on it).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// accessLog wraps the API with one structured line per request:
+//
+//	ts=<RFC3339> method=POST path=/v1/jobs job=j-abcdef status=202 latency=1.2ms deadline_remaining=28.8s
+//
+// job is taken from the X-Neofog-Job response header (set on
+// submissions); deadline_remaining is the client's budget minus the
+// request latency, "-" when the request carried no deadline.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Clock()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		latency := s.cfg.Clock().Sub(start)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		job := rec.Header().Get(jobHeader)
+		if job == "" {
+			job = "-"
+		}
+		remaining := "-"
+		if d, err := s.parseDeadline(r); err == nil && d > 0 {
+			remaining = (d - latency).Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(s.cfg.AccessLog, "ts=%s method=%s path=%s job=%s status=%d latency=%s deadline_remaining=%s\n",
+			start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path, job, rec.status,
+			latency.Round(time.Microsecond), remaining)
+	})
 }

@@ -3,7 +3,6 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"time"
 )
@@ -43,7 +42,7 @@ type indexEntry struct {
 // lifecycle state is corrupt.
 var validStatuses = map[string]bool{
 	StatusQueued: true, StatusRunning: true, StatusDone: true,
-	StatusFailed: true, StatusCancelled: true,
+	StatusFailed: true, StatusCancelled: true, StatusPoisoned: true,
 }
 
 // validate rejects entries that could not have been written by this
@@ -141,44 +140,31 @@ func decodeIndex(b []byte) (indexFile, error) {
 // through: write to <path>.tmp, fsync, rename over the final path, fsync
 // the directory. A crash at any point leaves either the old bytes or the
 // new bytes at path — never a torn file — plus at worst one .tmp that
-// the boot sweep removes.
-func atomicWriteFile(path string, data []byte) error {
+// the boot sweep removes. It runs on the caller's FS so the disk-tier
+// copy shares the store's fault injection and breaker accounting.
+func atomicWriteFile(fsys FS, path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.OpenWrite(tmp)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so a completed rename survives power loss.
-// Platforms that refuse directory fsync are tolerated: rename atomicity
-// alone still guarantees no torn file, just a small window where the
-// entry may be lost (and so recomputed) after a crash.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	d.Sync() // best-effort: some filesystems reject directory fsync
-	return nil
+	return fsys.SyncDir(filepath.Dir(path))
 }

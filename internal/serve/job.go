@@ -193,13 +193,16 @@ func normalizeRequest(req Request) (Request, string, error) {
 func jobID(key string) string { return "j-" + key[:16] }
 
 // Statuses of a job's lifecycle. queued → running → done | failed |
-// cancelled; cancelled can also strike a job still in the queue.
+// cancelled | poisoned; cancelled can also strike a job still in the
+// queue. Poisoned means the run panicked and the key is quarantined —
+// resubmitting retries it until the quarantine cap, then rejects.
 const (
 	StatusQueued    = "queued"
 	StatusRunning   = "running"
 	StatusDone      = "done"
 	StatusFailed    = "failed"
 	StatusCancelled = "cancelled"
+	StatusPoisoned  = "poisoned"
 )
 
 // Job is the public snapshot of one submission, as served by the API.
@@ -211,7 +214,11 @@ type Job struct {
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
-	Error       string     `json:"error,omitempty"`
+	// Deadline is the absolute point by which the job must finish, when
+	// the submission carried one; past it the job is cancelled (queued or
+	// running) rather than left to run.
+	Deadline *time.Time `json:"deadline,omitempty"`
+	Error    string     `json:"error,omitempty"`
 	// Result is the cached result body (present once Status is done).
 	// Cached and freshly computed responses are byte-identical: the body
 	// is marshaled once, when the run finishes, and served verbatim ever
@@ -234,6 +241,7 @@ type job struct {
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
+	deadline    time.Time // zero when the submission carried none
 	err         error
 	result      json.RawMessage
 	hits        int64
@@ -288,6 +296,10 @@ func (j *job) snapshot() Job {
 		t := j.finishedAt
 		out.FinishedAt = &t
 	}
+	if !j.deadline.IsZero() {
+		t := j.deadline
+		out.Deadline = &t
+	}
 	if j.err != nil {
 		out.Error = j.err.Error()
 	}
@@ -295,7 +307,11 @@ func (j *job) snapshot() Job {
 }
 
 func (j *job) terminal() bool {
-	return j.status == StatusDone || j.status == StatusFailed || j.status == StatusCancelled
+	switch j.status {
+	case StatusDone, StatusFailed, StatusCancelled, StatusPoisoned:
+		return true
+	}
+	return false
 }
 
 // SubmitResponse is the POST /v1/jobs body.
@@ -314,4 +330,24 @@ type experimentResult struct {
 	Experiment string `json:"experiment"`
 	Format     string `json:"format"`
 	Output     string `json:"output"`
+}
+
+// panicError wraps a recovered per-job panic so the terminal switch can
+// distinguish "the run panicked" (quarantine the key) from "the run
+// returned an error" (plain failure). The stack is captured for the
+// operator log; the HTTP surface sees only the message.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %v", p.val) }
+
+// poisonRecord tracks one quarantined key: how many runs have panicked
+// and when the quarantine lapses. Until count reaches the configured
+// retry cap, resubmissions retry the job (a panic may be environmental);
+// at the cap they are rejected outright until the TTL expires.
+type poisonRecord struct {
+	count int
+	until time.Time
 }

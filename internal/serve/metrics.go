@@ -19,6 +19,10 @@ type metricsRegistry struct {
 	mu       sync.Mutex
 	counters map[string]int64
 	hists    map[string]*telemetry.Histogram
+	// queueWait tracks time spent queued before a worker picked the job
+	// up — the admission predictor's ground truth. Created eagerly so the
+	// /metrics exposition is deterministic from the first scrape.
+	queueWait *telemetry.Histogram
 }
 
 // jobSecondsBounds are the latency buckets (seconds) for per-kind job
@@ -26,9 +30,11 @@ type metricsRegistry struct {
 var jobSecondsBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300}
 
 func newMetrics() *metricsRegistry {
+	r := telemetry.New()
 	return &metricsRegistry{
-		counters: map[string]int64{},
-		hists:    map[string]*telemetry.Histogram{},
+		counters:  map[string]int64{},
+		hists:     map[string]*telemetry.Histogram{},
+		queueWait: r.RegisterHistogram("queue_wait_seconds", jobSecondsBounds),
 	}
 }
 
@@ -61,9 +67,38 @@ func newJobHistogram() *telemetry.Histogram {
 	return r.RegisterHistogram("job_seconds", jobSecondsBounds)
 }
 
+// observeQueueWait records how long one job sat queued before running.
+func (m *metricsRegistry) observeQueueWait(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queueWait.Observe(seconds)
+}
+
+// meanJobSeconds is the observed mean execution latency across all kinds
+// (0 before any job finishes) — the service-time estimate behind
+// deadline admission's predicted queue wait.
+func (m *metricsRegistry) meanJobSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sum float64
+	var n int64
+	for _, h := range m.hists {
+		sum += h.Sum
+		n += h.N
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // counterHelp documents the exported counters; keep in sorted name order
 // with the writer below.
 var counterHelp = map[string]string{
+	"breaker_probes_total":           "Half-open probes attempted against a tripped disk tier.",
+	"breaker_recoveries_total":       "Times a successful probe closed the disk breaker and write-through resumed.",
+	"breaker_skipped_total":          "Disk-tier operations skipped outright because the breaker was open.",
+	"breaker_trips_total":            "Times repeated I/O errors tripped the disk breaker open (degraded to memory-only).",
 	"cache_evictions_total":          "Entries evicted entirely from the result cache (count bound or byte budget).",
 	"cache_hits_total":               "Submissions answered entirely from the result cache (either tier).",
 	"cache_misses_total":             "Submissions that started a new run.",
@@ -72,11 +107,15 @@ var counterHelp = map[string]string{
 	"disk_write_errors_total":        "Disk-tier writes (bodies or index) that failed; affected entries stayed memory-only.",
 	"index_resets_total":             "Boot-time index loads that failed and reset the disk tier.",
 	"jobs_cancelled_total":           "Jobs that ended cancelled.",
+	"jobs_deadline_expired_total":    "Jobs whose deadline expired before or during execution (counted within cancelled).",
 	"jobs_executed_total":            "Runs actually executed by the worker pool.",
 	"jobs_failed_total":              "Jobs that ended in an error.",
+	"jobs_poisoned_total":            "Runs that panicked; the key was quarantined.",
 	"jobs_submitted_total":           "Submissions accepted (including cache and dedup hits).",
+	"submit_rejected_deadline_total": "Submissions rejected with 429 because the predicted queue wait exceeded the deadline.",
 	"submit_rejected_draining_total": "Submissions rejected with 503 during drain.",
 	"submit_rejected_full_total":     "Submissions rejected with 429 because the queue was full.",
+	"submit_rejected_poisoned_total": "Submissions rejected with 422 because the key was quarantined after repeated panics.",
 	"tier_demotions_total":           "Memory-tier bodies demoted to disk-only to fit the resident bound.",
 	"tier_hits_disk_total":           "Cache hits served by promoting a demoted entry from the disk tier.",
 	"tier_hits_memory_total":         "Cache hits served from the memory tier.",
@@ -149,6 +188,25 @@ func (m *metricsRegistry) writePrometheus(w io.Writer, gauges []gauge) error {
 				return err
 			}
 		}
+	}
+
+	const qw = "neofog_serve_queue_wait_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Time jobs spent queued before a worker picked them up.\n# TYPE %s histogram\n",
+		qw, qw); err != nil {
+		return err
+	}
+	h := m.queueWait
+	cum := int64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", qw, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.Counts[len(h.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		qw, cum, qw, formatFloat(h.Sum), qw, h.N); err != nil {
+		return err
 	}
 	return nil
 }

@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -47,6 +50,43 @@ type Config struct {
 	// Clock injects time for tests (default time.Now). All job
 	// timestamps and latency observations go through it.
 	Clock func() time.Time
+	// FS is the filesystem the disk tier runs on (default the real one).
+	// Tests wrap it in a FaultFS to inject deterministic I/O errors.
+	FS FS
+
+	// DefaultDeadline, when positive, applies to submissions that carry
+	// no explicit deadline. Zero means no default — such jobs run
+	// unbounded, the pre-deadline behavior.
+	DefaultDeadline time.Duration
+	// MaxDeadline, when positive, caps client-requested deadlines;
+	// longer requests are silently clamped rather than rejected.
+	MaxDeadline time.Duration
+
+	// PoisonRetries is how many panicked runs a key is allowed before
+	// submissions for it are rejected outright (default 3).
+	PoisonRetries int
+	// PoisonTTL is how long a quarantine lasts after its latest panic;
+	// past it the key gets a clean slate (default 5m).
+	PoisonTTL time.Duration
+
+	// BreakerThreshold is the consecutive disk-I/O-error streak that
+	// trips the disk tier's circuit breaker open (default 3).
+	BreakerThreshold int
+	// BreakerProbe is how long the breaker stays open before the next
+	// disk operation runs as a half-open probe (default 5s).
+	BreakerProbe time.Duration
+	// RequireDisk makes /readyz report 503 while the disk breaker is
+	// open, for deployments where memory-only serving should shed load
+	// to healthier replicas instead of absorbing it.
+	RequireDisk bool
+
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request (method, path, job key prefix, status, latency, deadline
+	// remaining).
+	AccessLog io.Writer
+	// ErrorLog, when non-nil, receives operational noise worth paging
+	// on: per-job panic stacks and disk-breaker transitions.
+	ErrorLog *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +102,21 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	if c.FS == nil {
+		c.FS = OSFS()
+	}
+	if c.PoisonRetries <= 0 {
+		c.PoisonRetries = 3
+	}
+	if c.PoisonTTL <= 0 {
+		c.PoisonTTL = 5 * time.Minute
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerProbe <= 0 {
+		c.BreakerProbe = 5 * time.Second
+	}
 	return c
 }
 
@@ -74,6 +129,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	store    *resultStore // disk tier bookkeeping; nil when CacheDir is empty
+	poisoned map[string]*poisonRecord
 	byKey    map[string]*job
 	order    []string // submission order of keys, for listing and eviction
 	queue    chan *job
@@ -96,16 +152,18 @@ type Server struct {
 // until its first hit.
 func New(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		metrics: newMetrics(),
-		byKey:   map[string]*job{},
+		cfg:      cfg.withDefaults(),
+		metrics:  newMetrics(),
+		byKey:    map[string]*job{},
+		poisoned: map[string]*poisonRecord{},
 	}
 	if s.cfg.CacheDir != "" {
-		store, warm, err := newResultStore(s.cfg.CacheDir, s.cfg.CacheBudget, s.cfg.CacheEntries, s.metrics)
-		if err != nil {
-			return nil, err
-		}
+		brk := newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerProbe, s.cfg.Clock, s.metrics)
+		store, warm := newResultStore(s.cfg.CacheDir, s.cfg.CacheBudget, s.cfg.CacheEntries, s.cfg.FS, brk, s.metrics)
 		s.store = store
+		if brk.degraded() && s.cfg.ErrorLog != nil {
+			s.cfg.ErrorLog.Printf("serve: cache dir %s unusable at boot; disk tier degraded (memory-only)", s.cfg.CacheDir)
+		}
 		for _, e := range warm {
 			j := warmJob(e)
 			s.byKey[j.key] = j
@@ -142,22 +200,43 @@ const (
 	outcomeDeduped
 	outcomeQueueFull
 	outcomeDraining
+	outcomeDeadline // predicted queue wait already exceeds the deadline
+	outcomePoisoned // key quarantined after repeated panics
 )
 
 // submit resolves one normalized request against the job store: answer
 // from cache, attach to an identical in-flight job, or enqueue a fresh
 // run. The whole decision is one critical section, which is what makes
 // the deduplication single-flight — two identical concurrent
-// submissions cannot both observe "no such job".
-func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
+// submissions cannot both observe "no such job". deadline is the
+// client's time budget (0 = none); the retryAfter return, when positive,
+// is the server's hint for when a rejected submission is worth retrying.
+func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, submitOutcome, time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	if s.draining {
 		s.metrics.inc("submit_rejected_draining_total", 1)
-		return Job{}, outcomeDraining
+		return Job{}, outcomeDraining, 0
 	}
 	s.metrics.inc("jobs_submitted_total", 1)
+	now := s.cfg.Clock()
+
+	// Quarantine gate: a key whose runs keep panicking is rejected until
+	// its TTL lapses; below the retry cap a resubmission re-runs it (the
+	// panic may have been environmental).
+	if rec, ok := s.poisoned[key]; ok {
+		if !now.Before(rec.until) {
+			delete(s.poisoned, key) // quarantine lapsed: clean slate
+		} else if rec.count >= s.cfg.PoisonRetries {
+			s.metrics.inc("submit_rejected_poisoned_total", 1)
+			var snap Job
+			if j, ok := s.byKey[key]; ok {
+				snap = j.snapshot()
+			}
+			return snap, outcomePoisoned, rec.until.Sub(now)
+		}
+	}
 
 	if j, ok := s.byKey[key]; ok {
 		switch {
@@ -171,7 +250,7 @@ func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
 				}
 				j.hits++
 				s.metrics.inc("cache_hits_total", 1)
-				return j.snapshot(), outcomeCached
+				return j.snapshot(), outcomeCached, 0
 			}
 			// The persisted result failed verification and was discarded
 			// (promoteLocked already removed the job): recompute under the
@@ -179,20 +258,36 @@ func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
 		case !j.terminal():
 			j.hits++
 			s.metrics.inc("dedup_hits_total", 1)
-			return j.snapshot(), outcomeDeduped
+			return j.snapshot(), outcomeDeduped, 0
 		}
-		// failed or cancelled: fall through and retry with a fresh run,
-		// reusing the key's slot (and so its deterministic job ID).
+		// failed, cancelled, or poisoned-below-cap: fall through and retry
+		// with a fresh run, reusing the key's slot (and so its
+		// deterministic job ID).
+	}
+
+	// Deadline-aware admission: enqueueing a job whose predicted queue
+	// wait already exceeds its budget would burn a worker on a result
+	// nobody can use — reject now and tell the client when to retry.
+	wait := s.predictedWaitLocked()
+	if deadline > 0 && wait > deadline {
+		s.metrics.inc("submit_rejected_deadline_total", 1)
+		return Job{}, outcomeDeadline, wait
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
+	var dl time.Time
+	if deadline > 0 {
+		dl = now.Add(deadline)
+		ctx, cancel = context.WithDeadline(context.Background(), dl)
+	}
 	j := &job{
 		id:          jobID(key),
 		key:         key,
 		kind:        req.Kind,
 		req:         req,
 		status:      StatusQueued,
-		submittedAt: s.cfg.Clock(),
+		submittedAt: now,
+		deadline:    dl,
 		ctx:         ctx,
 		cancel:      cancel,
 		done:        make(chan struct{}),
@@ -203,7 +298,7 @@ func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
 	default:
 		cancel()
 		s.metrics.inc("submit_rejected_full_total", 1)
-		return Job{}, outcomeQueueFull
+		return Job{}, outcomeQueueFull, wait
 	}
 	if _, existed := s.byKey[key]; !existed {
 		s.order = append(s.order, key)
@@ -211,7 +306,36 @@ func (s *Server) submit(req Request, key string) (Job, submitOutcome) {
 	s.byKey[key] = j
 	s.metrics.inc("cache_misses_total", 1)
 	s.evictLocked()
-	return j.snapshot(), outcomeNew
+	return j.snapshot(), outcomeNew, 0
+}
+
+// predictedWaitLocked estimates how long a job enqueued now would wait
+// for a worker: queue-ahead batches times the observed mean job latency.
+// Before any job has finished (no latency signal) or with a free worker
+// and an empty queue, the estimate is zero — admission never rejects on
+// a guess it has no data for. Callers hold s.mu.
+func (s *Server) predictedWaitLocked() time.Duration {
+	mean := s.metrics.meanJobSeconds()
+	if mean == 0 {
+		return 0
+	}
+	if len(s.queue) == 0 && s.running < s.cfg.Workers {
+		return 0
+	}
+	batches := 1 + len(s.queue)/s.cfg.Workers
+	return time.Duration(float64(batches) * mean * float64(time.Second))
+}
+
+// poisonLocked records one panicked run against a key. Callers hold
+// s.mu.
+func (s *Server) poisonLocked(key string) {
+	rec, ok := s.poisoned[key]
+	if !ok {
+		rec = &poisonRecord{}
+		s.poisoned[key] = rec
+	}
+	rec.count++
+	rec.until = s.cfg.Clock().Add(s.cfg.PoisonTTL)
 }
 
 // promoteLocked ensures a done job's result bytes are in memory,
@@ -293,22 +417,39 @@ func (s *Server) runJob(j *job) {
 		s.mu.Unlock()
 		return
 	}
+	now := s.cfg.Clock()
+	s.metrics.observeQueueWait(now.Sub(j.submittedAt).Seconds())
+	if err := j.ctx.Err(); err != nil {
+		// The deadline expired (or the job was cancelled) while it sat in
+		// the queue: don't burn a worker on a result nobody can use.
+		j.status = StatusCancelled
+		j.finishedAt = now
+		j.err = err
+		s.metrics.inc("jobs_cancelled_total", 1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.inc("jobs_deadline_expired_total", 1)
+		}
+		snap := j.snapshot()
+		s.mu.Unlock()
+		j.cancel()
+		close(j.done)
+		j.bcast.finish("error", snap)
+		return
+	}
 	j.status = StatusRunning
-	j.startedAt = s.cfg.Clock()
+	j.startedAt = now
 	s.running++
 	hook := s.beforeExecute
 	s.mu.Unlock()
 	s.metrics.inc("jobs_executed_total", 1)
 	j.bcast.publish("status", Job{ID: j.id, Key: j.key, Kind: j.kind, Status: StatusRunning})
 
-	if hook != nil {
-		hook(j)
-	}
-	result, err := s.execute(j)
+	result, err := s.executeGuarded(j, hook)
 
 	s.mu.Lock()
 	j.finishedAt = s.cfg.Clock()
 	s.running--
+	var pe *panicError
 	switch {
 	case err == nil:
 		j.status = StatusDone
@@ -323,10 +464,24 @@ func (s *Server) runJob(j *job) {
 		} else {
 			j.result = result
 		}
+	case errors.As(err, &pe):
+		// A panic is quarantined, not just failed: the key is marked
+		// poisoned so a config that reliably crashes the worker can only
+		// retry a capped number of times before it is rejected outright.
+		j.status = StatusPoisoned
+		j.err = err
+		s.poisonLocked(j.key)
+		s.metrics.inc("jobs_poisoned_total", 1)
+		if s.cfg.ErrorLog != nil {
+			s.cfg.ErrorLog.Printf("serve: job %s (key %s) panicked: %v\n%s", j.id, j.key, pe.val, pe.stack)
+		}
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		j.status = StatusCancelled
 		j.err = err
 		s.metrics.inc("jobs_cancelled_total", 1)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.metrics.inc("jobs_deadline_expired_total", 1)
+		}
 	default:
 		j.status = StatusFailed
 		j.err = err
@@ -343,6 +498,26 @@ func (s *Server) runJob(j *job) {
 	} else {
 		j.bcast.finish("error", snap)
 	}
+}
+
+// executeGuarded runs the test hook and the facade call under a panic
+// recovery: a panicking job must cost the service exactly one job, not a
+// worker goroutine (an unrecovered panic would kill the process). The
+// recovered value and stack come back as a *panicError for the terminal
+// switch to quarantine.
+func (s *Server) executeGuarded(j *job, hook func(j *job)) (result json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, err = nil, &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	if hook != nil {
+		hook(j)
+	}
+	if cerr := j.ctx.Err(); cerr != nil {
+		return nil, cerr // deadline expired between pickup and execution
+	}
+	return s.execute(j)
 }
 
 // execute dispatches to the facade. Each job gets a streaming telemetry
@@ -494,6 +669,20 @@ func (s *Server) jobs() []Job {
 	return out
 }
 
+// diskStateLocked reports the disk tier's health for /healthz and
+// /readyz: "off" (no tier configured), "ok", or "degraded" (breaker
+// open, memory-only). Callers hold s.mu.
+func (s *Server) diskStateLocked() string {
+	switch {
+	case s.store == nil:
+		return "off"
+	case s.store.brk.degraded():
+		return "degraded"
+	default:
+		return "ok"
+	}
+}
+
 // counts tallies jobs by status; callers hold s.mu.
 func (s *Server) countsLocked() map[string]int {
 	c := map[string]int{}
@@ -574,5 +763,5 @@ func (s *Server) flushCacheIndex() error {
 	if err != nil {
 		return err
 	}
-	return atomicWriteFile(s.cfg.CacheIndexPath, b)
+	return atomicWriteFile(s.cfg.FS, s.cfg.CacheIndexPath, b)
 }

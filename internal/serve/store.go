@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -36,8 +37,9 @@ const indexFileName = "index.json"
 // Tier invariants:
 //
 //   - write-through: a retained entry's bytes are on disk (crash-safe
-//     temp+fsync+rename) unless the persist failed, in which case the
-//     entry is memory-only and counted by disk_write_errors_total;
+//     temp+fsync+rename) unless the persist failed or was skipped by an
+//     open circuit breaker, in which case the entry is memory-only and
+//     counted by disk_write_errors_total / breaker_skipped_total;
 //   - the memory tier is a cache over disk: demotion just drops the RAM
 //     copy, promotion reads it back and verifies it against the SHA-256
 //     recorded at write time — corrupt or truncated files are discarded
@@ -46,11 +48,17 @@ const indexFileName = "index.json"
 //     durable copy); when exceeded, least-recently-used entries are
 //     evicted entirely — file, RAM copy, and job — except the entry
 //     just written, which survives until the next put even if oversized
-//     so a completing job can always serve its own result.
+//     so a completing job can always serve its own result;
+//   - every filesystem touch goes through fs and is guarded by the
+//     circuit breaker brk: repeated I/O errors trip it, tripped means
+//     skipped (degraded, memory-only, still serving), and a successful
+//     half-open probe closes it again and re-persists the backlog.
 type resultStore struct {
 	dir      string // result files + index live here
 	budget   int64  // total retained bytes across tiers; 0 = unlimited
 	memLimit int    // max memory-resident bodies before demotion
+	fs       FS
+	brk      *breaker
 	metrics  *metricsRegistry
 
 	seq       int64 // LRU clock; monotone per store use
@@ -66,6 +74,10 @@ type resultStore struct {
 	// server mutex; production never does.
 	crashHook func(key string) bool
 }
+
+// errInjectedCrash marks a crashHook abort: a simulated process death,
+// not a disk fault, so it must not feed the circuit breaker.
+var errInjectedCrash = errors.New("serve: injected crash before rename")
 
 // storeEntry is the placement record for one done job's result.
 type storeEntry struct {
@@ -87,18 +99,24 @@ func (e *storeEntry) inMemory() bool { return e.j.result != nil }
 // missing or mangled index resets the tier — every file is removed and
 // the daemon starts cold rather than trust an unverifiable catalog.
 // Bodies are NOT read here; entries warm lazily, on first hit.
-func newResultStore(dir string, budget int64, memLimit int, m *metricsRegistry) (*resultStore, []indexEntry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("serve: cache dir: %w", err)
-	}
+//
+// Boot never fails the daemon: a cache directory that cannot even be
+// created or listed trips the breaker immediately and the store opens
+// cold and degraded — the service runs memory-only and the breaker's
+// probes keep trying the disk.
+func newResultStore(dir string, budget int64, memLimit int, fs FS, brk *breaker, m *metricsRegistry) (*resultStore, []indexEntry) {
 	rs := &resultStore{
-		dir: dir, budget: budget, memLimit: memLimit, metrics: m,
+		dir: dir, budget: budget, memLimit: memLimit, fs: fs, brk: brk, metrics: m,
 		entries: map[string]*storeEntry{},
 	}
-
-	names, err := os.ReadDir(dir)
+	if err := fs.MkdirAll(dir); err != nil {
+		brk.trip()
+		return rs, nil
+	}
+	names, err := fs.ReadDir(dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: cache dir: %w", err)
+		brk.trip()
+		return rs, nil
 	}
 	present := map[string]bool{}
 	for _, de := range names {
@@ -106,20 +124,24 @@ func newResultStore(dir string, budget int64, memLimit int, m *metricsRegistry) 
 		switch {
 		case de.IsDir():
 		case strings.HasSuffix(name, ".tmp"):
-			os.Remove(filepath.Join(dir, name)) // crash debris: never servable
+			fs.Remove(filepath.Join(dir, name)) // crash debris: never servable
 		case isHexKey(name):
 			present[name] = true
 		}
 	}
 
 	var warm []indexEntry
-	raw, err := os.ReadFile(filepath.Join(dir, indexFileName))
+	raw, err := fs.ReadFile(filepath.Join(dir, indexFileName))
 	switch {
-	case os.IsNotExist(err):
+	case err != nil && os.IsNotExist(err):
 		// Cold start. Any result files without an index are orphans from
 		// a crash before the first index write; remove them below.
 	case err != nil:
-		return nil, nil, fmt.Errorf("serve: cache index: %w", err)
+		// The catalog exists but cannot be read: a disk fault, not a
+		// mangled file. Degrade rather than guess — the files stay put
+		// for a later healthy boot to warm.
+		brk.trip()
+		return rs, nil
 	default:
 		idx, derr := decodeIndex(raw)
 		if derr != nil {
@@ -145,10 +167,10 @@ func newResultStore(dir string, budget int64, memLimit int, m *metricsRegistry) 
 	}
 	for name := range present {
 		if !indexed[name] {
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 		}
 	}
-	return rs, kept, nil
+	return rs, kept
 }
 
 // adopt registers a warm-boot job against its index entry; bodies stay
@@ -197,10 +219,13 @@ func (rs *resultStore) put(j *job, body []byte) (evicted []*job) {
 	rs.memBytes += e.size
 	rs.total += e.size
 
-	if err := rs.writeResult(j.key, e.sum, body); err == nil {
+	switch err := rs.writeResult(j.key, e.sum, body); {
+	case err == nil:
 		e.onDisk = true
 		rs.diskBytes += e.size
-	} else {
+	case errors.Is(err, errDiskDegraded):
+		// Skipped, not failed: counted by the breaker path already.
+	default:
 		rs.metrics.inc("disk_write_errors_total", 1)
 	}
 
@@ -215,14 +240,15 @@ func (rs *resultStore) put(j *job, body []byte) (evicted []*job) {
 		evicted = append(evicted, victim.j)
 	}
 	rs.flushIndex()
+	rs.sweepRecovered()
 	return evicted
 }
 
 // promote makes j's result RAM-resident, reading it back from disk and
 // verifying it if demoted. It reports false when the entry is lost —
-// missing or failing verification — in which case the entry (and its
-// file) are already discarded and the caller must recompute; bad bytes
-// are never returned.
+// missing, failing verification, or unreachable behind an open breaker —
+// in which case the entry (and its file, when reachable) are already
+// discarded and the caller must recompute; bad bytes are never returned.
 func (rs *resultStore) promote(j *job) bool {
 	e, ok := rs.entries[j.key]
 	if !ok {
@@ -235,7 +261,7 @@ func (rs *resultStore) promote(j *job) bool {
 	body, err := rs.readResult(j.key, e.sum, e.size)
 	if err != nil {
 		rs.metrics.inc("tier_misses_disk_total", 1)
-		if !os.IsNotExist(err) {
+		if !os.IsNotExist(err) && !errors.Is(err, errDiskDegraded) {
 			rs.metrics.inc("disk_corrupt_total", 1)
 		}
 		rs.dropEntry(e)
@@ -246,6 +272,7 @@ func (rs *resultStore) promote(j *job) bool {
 	rs.memBytes += e.size
 	rs.metrics.inc("tier_promotions_total", 1)
 	rs.demoteOverflow(e)
+	rs.sweepRecovered()
 	return true
 }
 
@@ -254,7 +281,9 @@ func (rs *resultStore) promote(j *job) bool {
 // never demoted. An entry that never made it to disk is given one more
 // persist attempt; if that fails too it stays resident — an overshoot
 // bounded by the number of failing writes — because dropping its only
-// copy would violate "never lose a verified entry".
+// copy would violate "never lose a verified entry". With the breaker
+// open demotion stops entirely: nothing can be safely written out, so
+// the memory tier overshoots its bound for the outage's duration.
 func (rs *resultStore) demoteOverflow(keep *storeEntry) {
 	guard := len(rs.entries)
 	for rs.memCount > rs.memLimit && guard > 0 {
@@ -264,18 +293,52 @@ func (rs *resultStore) demoteOverflow(keep *storeEntry) {
 			return
 		}
 		if !victim.onDisk {
-			if err := rs.writeResult(victim.j.key, victim.sum, victim.j.result); err != nil {
+			switch err := rs.writeResult(victim.j.key, victim.sum, victim.j.result); {
+			case err == nil:
+				victim.onDisk = true
+				rs.diskBytes += victim.size
+			case errors.Is(err, errDiskDegraded):
+				return // breaker open: stop demoting, overshoot until recovery
+			default:
 				rs.metrics.inc("disk_write_errors_total", 1)
 				victim.lastUsed = rs.tick() // stop reselecting the same unpersistable entry
 				continue
 			}
-			victim.onDisk = true
-			rs.diskBytes += victim.size
 		}
 		victim.j.result = nil
 		rs.memCount--
 		rs.memBytes -= victim.size
 		rs.metrics.inc("tier_demotions_total", 1)
+	}
+}
+
+// sweepRecovered re-persists the outage backlog after a half-open probe
+// closes the breaker: every memory-only entry is written through again
+// and the catalog flushed, restoring the write-through invariant that
+// held before the trip. A write failure during the sweep can re-trip the
+// breaker, which simply ends the sweep early.
+func (rs *resultStore) sweepRecovered() {
+	if !rs.brk.takeRecovered() {
+		return
+	}
+	repersisted := false
+	for _, e := range rs.entries {
+		if e.onDisk || !e.inMemory() {
+			continue
+		}
+		if err := rs.writeResult(e.j.key, e.sum, e.j.result); err != nil {
+			if errors.Is(err, errDiskDegraded) {
+				break // re-tripped mid-sweep
+			}
+			rs.metrics.inc("disk_write_errors_total", 1)
+			continue
+		}
+		e.onDisk = true
+		rs.diskBytes += e.size
+		repersisted = true
+	}
+	if repersisted {
+		rs.flushIndex()
 	}
 }
 
@@ -302,60 +365,103 @@ func (rs *resultStore) dropEntry(e *storeEntry) {
 		rs.memBytes -= e.size
 	}
 	if e.onDisk {
-		os.Remove(rs.resultPath(e.j.key))
+		rs.removeFile(rs.resultPath(e.j.key))
 		rs.diskBytes -= e.size
 	}
 	rs.total -= e.size
 	delete(rs.entries, e.j.key)
 }
 
+// removeFile deletes one file under the breaker's guard; a missing file
+// is success (the desired state holds), anything else feeds the breaker.
+func (rs *resultStore) removeFile(path string) {
+	if !rs.brk.allow() {
+		rs.metrics.inc("breaker_skipped_total", 1)
+		return
+	}
+	err := rs.fs.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		err = nil
+	}
+	rs.brk.record(err)
+}
+
 // writeResult persists one body crash-safely: header + body to
 // <key>.tmp, fsync, then rename over <key>. The crash hook sits exactly
-// in the window the rename closes.
+// in the window the rename closes. The whole operation runs under the
+// breaker: skipped outright while open, and its outcome (crash-hook
+// aborts excepted — those simulate process death, not disk failure)
+// feeds the breaker's failure streak.
 func (rs *resultStore) writeResult(key, sum string, body []byte) error {
+	if !rs.brk.allow() {
+		rs.metrics.inc("breaker_skipped_total", 1)
+		return errDiskDegraded
+	}
+	err := rs.writeResultFile(key, sum, body)
+	if errors.Is(err, errInjectedCrash) {
+		rs.brk.record(nil) // the disk itself behaved; the "process" died
+	} else {
+		rs.brk.record(err)
+	}
+	return err
+}
+
+func (rs *resultStore) writeResultFile(key, sum string, body []byte) error {
 	header := fmt.Sprintf("%s %s %s %d\n", resultFileMagic, key, sum, len(body))
 	tmp := rs.resultPath(key) + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := rs.fs.OpenWrite(tmp)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(header); err != nil {
+	if _, err := f.Write([]byte(header)); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		rs.fs.Remove(tmp)
 		return err
 	}
 	if _, err := f.Write(body); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		rs.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		rs.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		rs.fs.Remove(tmp)
 		return err
 	}
 	if rs.crashHook != nil && !rs.crashHook(key) {
 		// Simulated crash: the process "died" after the temp write and
 		// before the rename. The .tmp debris stays for boot to sweep.
-		return fmt.Errorf("serve: injected crash before rename of %s", key)
+		return fmt.Errorf("%w of %s", errInjectedCrash, key)
 	}
-	if err := os.Rename(tmp, rs.resultPath(key)); err != nil {
-		os.Remove(tmp)
+	if err := rs.fs.Rename(tmp, rs.resultPath(key)); err != nil {
+		rs.fs.Remove(tmp)
 		return err
 	}
-	return syncDir(rs.dir)
+	return rs.fs.SyncDir(rs.dir)
 }
 
 // readResult reads one body back and verifies it end to end: magic, the
 // embedded key against the filename, the embedded and indexed lengths,
 // and the body's SHA-256 against both the header's copy and the index's
-// copy. Any mismatch is one error; the caller discards the entry.
+// copy. Any mismatch is one error; the caller discards the entry. Only
+// the I/O feeds the breaker — a verification failure means the disk
+// answered fine and the content was bad, which is corruption, not
+// unavailability.
 func (rs *resultStore) readResult(key, wantSum string, wantSize int64) ([]byte, error) {
-	raw, err := os.ReadFile(rs.resultPath(key))
+	if !rs.brk.allow() {
+		rs.metrics.inc("breaker_skipped_total", 1)
+		return nil, errDiskDegraded
+	}
+	raw, err := rs.fs.ReadFile(rs.resultPath(key))
+	if err != nil && !os.IsNotExist(err) {
+		rs.brk.record(err)
+		return nil, err
+	}
+	rs.brk.record(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -402,13 +508,22 @@ func (rs *resultStore) indexSnapshot() indexFile {
 // flushIndex writes the catalog atomically beside the bodies. Called on
 // every mutation (put, eviction) and at drain; a crash between a body
 // rename and this write leaves an unindexed file that boot removes.
+// Skipped entirely while the breaker is open — the on-disk catalog goes
+// stale, and the boot sweep reconciles whatever survives.
 func (rs *resultStore) flushIndex() {
+	if !rs.brk.allow() {
+		rs.metrics.inc("breaker_skipped_total", 1)
+		return
+	}
 	b, err := encodeIndex(rs.indexSnapshot())
 	if err != nil {
 		rs.metrics.inc("disk_write_errors_total", 1)
+		rs.brk.record(nil) // encoding is not a disk outcome
 		return
 	}
-	if err := atomicWriteFile(filepath.Join(rs.dir, indexFileName), b); err != nil {
+	err = atomicWriteFile(rs.fs, filepath.Join(rs.dir, indexFileName), b)
+	rs.brk.record(err)
+	if err != nil {
 		rs.metrics.inc("disk_write_errors_total", 1)
 	}
 }

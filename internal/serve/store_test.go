@@ -115,10 +115,8 @@ func TestStoreRandomOpsProperty(t *testing.T) {
 		t.Run(fmt.Sprintf("budget=%d,mem=%d", shape.budget, shape.memLimit), func(t *testing.T) {
 			dir := t.TempDir()
 			rng := rand.New(rand.NewSource(int64(si)*101 + 17))
-			rs, warm, err := newResultStore(dir, shape.budget, shape.memLimit, newMetrics())
-			if err != nil {
-				t.Fatalf("newResultStore: %v", err)
-			}
+			m := newMetrics()
+			rs, warm := newResultStore(dir, shape.budget, shape.memLimit, OSFS(), newBreaker(3, time.Minute, time.Now, m), m)
 			if len(warm) != 0 {
 				t.Fatalf("cold dir produced %d warm entries", len(warm))
 			}
@@ -169,10 +167,8 @@ func TestStoreRandomOpsProperty(t *testing.T) {
 						t.Fatalf("op %d: promoted bytes differ for %s", op, j.key)
 					}
 				default: // restart: reopen the store from disk
-					reopened, warm, err := newResultStore(dir, shape.budget, shape.memLimit, newMetrics())
-					if err != nil {
-						t.Fatalf("op %d: reopen: %v", op, err)
-					}
+					rm := newMetrics()
+					reopened, warm := newResultStore(dir, shape.budget, shape.memLimit, OSFS(), newBreaker(3, time.Minute, time.Now, rm), rm)
 					seen := map[string]bool{}
 					adopted := map[string]*job{}
 					for _, e := range warm {
@@ -324,7 +320,7 @@ func hexKeyFor(s string) string {
 func TestAtomicWriteFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.json")
 	for _, content := range []string{"first", "second, longer than before"} {
-		if err := atomicWriteFile(path, []byte(content)); err != nil {
+		if err := atomicWriteFile(OSFS(), path, []byte(content)); err != nil {
 			t.Fatalf("atomicWriteFile: %v", err)
 		}
 		got, err := os.ReadFile(path)
