@@ -51,3 +51,9 @@ func BenchmarkSimulateLargeFleet(b *testing.B) { runCase(b, "SimulateLargeFleet"
 // profiles × 3 systems × 1500 rounds), for tracking the cost of the
 // heaviest published artifact. Skipped under -short.
 func BenchmarkFigPacketsFull(b *testing.B) { runCase(b, "FigPacketsFull") }
+
+// BenchmarkServeScheduleBuild measures the serve load harness's
+// deterministic schedule expansion (normalize + content-address per
+// arrival) — the fixed cost the open-loop generator pays before a trace
+// starts.
+func BenchmarkServeScheduleBuild(b *testing.B) { runCase(b, "ServeScheduleBuild") }

@@ -9,6 +9,17 @@
 //	neofog-bench -short -baseline BENCH_PR4.json -ns-tolerance -1 -alloc-tolerance 0.1
 //	neofog-bench -bench Headline -benchtime 2x
 //	neofog-bench -out BENCH_PR4.json -compare BENCH_PR3.json   # before/after artifact
+//
+// With -serve it instead runs the open-loop serve-layer load bench: a
+// seeded hot/cold request schedule replayed at fixed QPS against a
+// router-fronted in-process cluster (or -serve-target), reporting jobs/s,
+// cache-hit ratio, rejection counts and exact latency quantiles into
+// BENCH_SERVE.json, gated against -serve-baseline when that file exists:
+//
+//	neofog-bench -serve                                     # 3 shards, 10s smoke
+//	neofog-bench -serve -serve-qps 500 -serve-duration 30s
+//	neofog-bench -serve -serve-target http://127.0.0.1:8000  # aim at a live cluster
+//	neofog-bench -serve -serve-baseline BENCH_SERVE_BASELINE.json
 package main
 
 import (
@@ -48,11 +59,15 @@ func run() error {
 		parallel     = flag.Int("parallel", 0, "sweep worker-pool width passed to experiment cases: 0/1 serial, N up to N workers, -1 all CPUs")
 		showVersion  = flag.Bool("version", false, "print build version and exit")
 	)
+	sf := registerServeFlags()
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println("neofog-bench", version.String())
 		return nil
+	}
+	if *sf.enabled {
+		return runServe(sf)
 	}
 	if *list {
 		for _, c := range bench.Cases() {

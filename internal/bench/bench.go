@@ -16,9 +16,11 @@ import (
 	"os"
 	"sort"
 	"testing"
+	"time"
 
 	"neofog"
 	"neofog/internal/experiments"
+	"neofog/internal/loadgen"
 )
 
 // Case is one named benchmark.
@@ -117,6 +119,26 @@ func Cases() []Case {
 			for i := 0; i < b.N; i++ {
 				if _, _, err := experiments.Fig10Independent(experiments.Options{Seed: 1, Parallel: ExperimentParallel}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		}},
+		{"ServeScheduleBuild", func(b *testing.B) {
+			// The serve load harness's schedule expansion: one second of
+			// 1000 qps arrivals, each normalized and content-addressed.
+			// This is the per-request fixed cost the open-loop generator
+			// pays before a trace starts, so it gates like any other
+			// headline case (the trace replay itself is wall-clock-bound
+			// and gated separately via BENCH_SERVE.json).
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				schedule, err := loadgen.BuildSchedule(loadgen.TraceSpec{
+					Seed: 1, QPS: 1000, Duration: time.Second,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(schedule) == 0 {
+					b.Fatal("empty schedule")
 				}
 			}
 		}},

@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"neofog/internal/router"
+	"neofog/internal/serve"
+)
+
+// Cluster is an in-process sharded serve deployment: N serve.Server
+// shards on loopback listeners fronted by one router. It is what the
+// bench harness and CI smoke boot when no external target is given —
+// the same wiring as N neofog-serve processes plus neofog-router, minus
+// the processes.
+type Cluster struct {
+	RouterURL string
+	ShardURLs []string
+
+	rt      *router.Router
+	servers []*serve.Server
+	httpSrv []*http.Server
+}
+
+// StartCluster boots n shards (each its own serve.New from cfg) and a
+// router over them. Per-shard cache directories are derived from
+// cfg.CacheDir ("<dir>/shard-<i>") when set. Close tears everything
+// down; on error nothing is left running.
+func StartCluster(n int, cfg serve.Config, rcfg router.Config) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("loadgen: cluster needs at least 1 shard, got %d", n)
+	}
+	c := &Cluster{}
+	baseDir := cfg.CacheDir
+	for i := 0; i < n; i++ {
+		shardCfg := cfg
+		if baseDir != "" {
+			shardCfg.CacheDir = fmt.Sprintf("%s/shard-%d", baseDir, i)
+		}
+		srv, err := serve.New(shardCfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("loadgen: shard %d: %w", i, err)
+		}
+		c.servers = append(c.servers, srv)
+		url, hs, err := listenAndServe(srv.Handler())
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("loadgen: shard %d listener: %w", i, err)
+		}
+		c.httpSrv = append(c.httpSrv, hs)
+		c.ShardURLs = append(c.ShardURLs, url)
+		rcfg.Shards = append(rcfg.Shards, router.Shard{Name: fmt.Sprintf("shard-%d", i), URL: url})
+	}
+	rt, err := router.New(rcfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.rt = rt
+	url, hs, err := listenAndServe(rt.Handler())
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("loadgen: router listener: %w", err)
+	}
+	c.httpSrv = append(c.httpSrv, hs)
+	c.RouterURL = url
+	return c, nil
+}
+
+func listenAndServe(h http.Handler) (string, *http.Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: h}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), hs, nil
+}
+
+// Close drains the shards and stops every listener. Safe on a partially
+// started cluster and idempotent enough for defer.
+func (c *Cluster) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, hs := range c.httpSrv {
+		keep(hs.Shutdown(ctx))
+	}
+	if c.rt != nil {
+		c.rt.Close()
+	}
+	for _, srv := range c.servers {
+		keep(srv.Drain(ctx))
+	}
+	return first
+}

@@ -1,0 +1,506 @@
+// Package loadgen is the serve layer's open-loop load harness: it
+// builds a deterministic request schedule from a seeded trace spec —
+// Poisson arrivals at a configured QPS, a hot/cold key mix over small
+// simulation configs — and replays it against a neofog-serve daemon or
+// a neofog-router cluster, recording throughput, cache behavior, and
+// exact latency quantiles into the BENCH_SERVE.json report that CI
+// gates.
+//
+// Open-loop means the schedule is fixed before the run and requests fire
+// at their appointed offsets whether or not earlier ones have completed
+// — the arrival process never slows down to match a struggling server,
+// which is what exposes queueing collapse (a closed-loop generator
+// self-throttles and hides it). The schedule (arrival times, request
+// bodies, content keys) is a pure function of the spec, so two runs with
+// the same seed replay byte-identical request sequences and their
+// reports differ only in measured wall-clock fields — that separation is
+// what makes BENCH_SERVE diffs trustworthy.
+package loadgen
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"neofog"
+	"neofog/internal/serve"
+)
+
+// TraceSpec is the seeded recipe for one load trace. The zero value is
+// not useful; Seed, QPS and Duration are required, the mix fields
+// default to a cache-friendly 80/20 hot/cold blend over small
+// simulations.
+type TraceSpec struct {
+	// Seed drives every random choice (arrival gaps, hot/cold draws, key
+	// picks). Same seed ⇒ identical schedule, bit for bit.
+	Seed int64 `json:"seed"`
+	// QPS is the mean arrival rate; gaps are exponential (Poisson
+	// arrivals), so instantaneous load is bursty like real traffic.
+	QPS float64 `json:"qps"`
+	// Duration is the span arrivals are scheduled over. The run itself
+	// lasts until the last scheduled request completes.
+	Duration time.Duration `json:"-"`
+	// HotKeys is the size of the hot working set (default 8): hot
+	// requests draw uniformly from this many distinct configurations.
+	HotKeys int `json:"hot_keys"`
+	// HotFraction is the probability a request draws from the hot set
+	// (default 0.8); the rest are cold — unique, never-repeated configs
+	// that can only miss.
+	HotFraction float64 `json:"hot_fraction"`
+	// Nodes and Rounds size each simulated job (defaults 4 and 30 —
+	// small enough that the serve layer, not the simulator, is what is
+	// being measured).
+	Nodes  int `json:"nodes"`
+	Rounds int `json:"rounds"`
+}
+
+func (s TraceSpec) withDefaults() TraceSpec {
+	if s.HotKeys <= 0 {
+		s.HotKeys = 8
+	}
+	if s.HotFraction <= 0 {
+		s.HotFraction = 0.8
+	}
+	if s.Nodes <= 0 {
+		s.Nodes = 4
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 30
+	}
+	return s
+}
+
+// coldSeedBase offsets cold-key simulation seeds far above any hot seed
+// so the two populations can never collide on a content key.
+const coldSeedBase = 1_000_000
+
+// ScheduledRequest is one arrival in a trace: when to fire (offset from
+// run start), what to send, and the content identity it will have on the
+// server.
+type ScheduledRequest struct {
+	At   time.Duration
+	Body []byte // marshaled serve.Request, sent verbatim
+	Key  string // canonical content address (what the cluster shards on)
+	Hot  bool
+}
+
+// BuildSchedule expands a spec into its full arrival schedule. The
+// result is a pure function of the spec: arrival gaps and key draws come
+// from one seeded PRNG consumed in a fixed order, and request bodies are
+// canonical JSON encodings.
+func BuildSchedule(spec TraceSpec) ([]ScheduledRequest, error) {
+	spec = spec.withDefaults()
+	if spec.QPS <= 0 || spec.Duration <= 0 {
+		return nil, fmt.Errorf("loadgen: trace needs positive QPS and duration (got %v, %v)", spec.QPS, spec.Duration)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var out []ScheduledRequest
+	at := time.Duration(0)
+	cold := int64(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / spec.QPS * float64(time.Second))
+		at += gap
+		if at > spec.Duration {
+			return out, nil
+		}
+		hot := rng.Float64() < spec.HotFraction
+		var seed int64
+		if hot {
+			seed = 1 + int64(rng.Intn(spec.HotKeys))
+		} else {
+			cold++
+			seed = coldSeedBase + cold
+		}
+		req := serve.Request{
+			Kind:   serve.KindSimulate,
+			Config: &neofog.SimulationConfig{Seed: seed, Nodes: spec.Nodes, Rounds: spec.Rounds},
+		}
+		_, key, err := serve.Normalize(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: normalizing scheduled request: %w", err)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ScheduledRequest{At: at, Body: body, Key: key, Hot: hot})
+	}
+}
+
+// ScheduleDigest fingerprints a schedule: the SHA-256 over every
+// arrival's offset, key, and temperature. Two runs replaying the same
+// trace carry the same digest in their reports, which is how a
+// BENCH_SERVE diff proves it compared like against like.
+func ScheduleDigest(schedule []ScheduledRequest) string {
+	h := sha256.New()
+	for _, sr := range schedule {
+		fmt.Fprintf(h, "%d %s %t\n", sr.At.Nanoseconds(), sr.Key, sr.Hot)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TraceSummary is the deterministic half of a report: everything here is
+// a pure function of the spec and must be identical across runs with the
+// same seed.
+type TraceSummary struct {
+	TraceSpec
+	DurationS      float64 `json:"duration_s"`
+	Requests       int     `json:"requests"`
+	HotRequests    int     `json:"hot_requests"`
+	UniqueKeys     int     `json:"unique_keys"`
+	ScheduleSHA256 string  `json:"schedule_sha256"`
+}
+
+// Measured is the wall-clock half of a report: outcome counts,
+// throughput, and exact latency quantiles (computed from the full sorted
+// latency set, not bucket interpolation — a bench artifact should not
+// estimate).
+type Measured struct {
+	Completed   int     `json:"completed"`
+	CacheHits   int     `json:"cache_hits"`
+	Deduped     int     `json:"deduped"`
+	Rejected429 int     `json:"rejected_429"`
+	Errors      int     `json:"errors"`
+	Dropped     int     `json:"dropped"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	HitRatio    float64 `json:"hit_ratio"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	P999Ms      float64 `json:"p999_ms"`
+}
+
+// Summary is the BENCH_SERVE.json schema: the deterministic trace
+// identity, the measured envelope, and the topology it ran against.
+type Summary struct {
+	Target   string       `json:"target"`   // "router" or "daemon"
+	Shards   int          `json:"shards"`   // 0 when targeting a bare daemon
+	Trace    TraceSummary `json:"trace"`    // identical across same-seed runs
+	Measured Measured     `json:"measured"` // wall-clock; differs run to run
+}
+
+// Opts tunes a run. The zero value works.
+type Opts struct {
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// PollInterval paces job-status polling for accepted (non-cached)
+	// submissions (default 5ms — the harness must observe completions
+	// promptly or it measures its own polling, not the server).
+	PollInterval time.Duration
+	// MaxInFlight caps concurrently outstanding requests (default 1024).
+	// An open-loop generator must not block the schedule, so arrivals
+	// past the cap are counted as dropped instead of waiting — a nonzero
+	// dropped count in a report means the harness, not the server, was
+	// the bottleneck, and the run should be retaken with a bigger cap.
+	MaxInFlight int
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 5 * time.Millisecond
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 1024
+	}
+	return o
+}
+
+// outcome is one request's fate.
+type outcome struct {
+	completed bool
+	cached    bool
+	deduped   bool
+	rejected  bool
+	dropped   bool
+	err       bool
+	latencyMs float64
+}
+
+// Run replays a schedule against baseURL (a daemon or a router — the
+// API is identical by construction) and summarizes. Arrivals fire at
+// their scheduled offsets regardless of earlier requests' progress;
+// ctx cancels the whole run (its error is returned after accounting).
+func Run(ctx context.Context, baseURL string, spec TraceSpec, schedule []ScheduledRequest, opts Opts) (Summary, error) {
+	spec = spec.withDefaults()
+	opts = opts.withDefaults()
+	outcomes := make([]outcome, len(schedule))
+	sem := make(chan struct{}, opts.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	var lastDone struct {
+		sync.Mutex
+		t time.Time
+	}
+	markDone := func() {
+		lastDone.Lock()
+		lastDone.t = time.Now()
+		lastDone.Unlock()
+	}
+
+	runErr := error(nil)
+dispatch:
+	for i, sr := range schedule {
+		if wait := sr.At - time.Since(start); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				runErr = ctx.Err()
+				break dispatch
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			outcomes[i].dropped = true // open-loop: never block the schedule
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sr ScheduledRequest) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			outcomes[i] = doOne(ctx, opts, baseURL, sr)
+			if outcomes[i].completed {
+				markDone()
+			}
+		}(i, sr)
+	}
+	wg.Wait()
+
+	sum := Summary{
+		Trace: summarizeTrace(spec, schedule),
+	}
+	var latencies []float64
+	for _, o := range outcomes {
+		switch {
+		case o.dropped:
+			sum.Measured.Dropped++
+		case o.rejected:
+			sum.Measured.Rejected429++
+		case o.err:
+			sum.Measured.Errors++
+		case o.completed:
+			sum.Measured.Completed++
+			latencies = append(latencies, o.latencyMs)
+			if o.cached {
+				sum.Measured.CacheHits++
+			}
+			if o.deduped {
+				sum.Measured.Deduped++
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	lastDone.Lock()
+	if !lastDone.t.IsZero() {
+		elapsed = lastDone.t.Sub(start)
+	}
+	lastDone.Unlock()
+	sum.Measured.ElapsedS = elapsed.Seconds()
+	if sum.Measured.ElapsedS > 0 {
+		sum.Measured.JobsPerSec = float64(sum.Measured.Completed) / sum.Measured.ElapsedS
+	}
+	if sum.Measured.Completed > 0 {
+		sum.Measured.HitRatio = float64(sum.Measured.CacheHits) / float64(sum.Measured.Completed)
+	}
+	sort.Float64s(latencies)
+	sum.Measured.P50Ms = quantile(latencies, 0.50)
+	sum.Measured.P99Ms = quantile(latencies, 0.99)
+	sum.Measured.P999Ms = quantile(latencies, 0.999)
+	return sum, runErr
+}
+
+func summarizeTrace(spec TraceSpec, schedule []ScheduledRequest) TraceSummary {
+	ts := TraceSummary{
+		TraceSpec:      spec,
+		DurationS:      spec.Duration.Seconds(),
+		Requests:       len(schedule),
+		ScheduleSHA256: ScheduleDigest(schedule),
+	}
+	keys := map[string]bool{}
+	for _, sr := range schedule {
+		if sr.Hot {
+			ts.HotRequests++
+		}
+		keys[sr.Key] = true
+	}
+	ts.UniqueKeys = len(keys)
+	return ts
+}
+
+// quantile returns the exact q-quantile of a sorted sample (nearest-rank
+// method); 0 for an empty sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// doOne runs one scheduled request end to end: submit, and for accepted
+// jobs poll to a terminal state. Latency spans send to observed
+// completion — it includes queue wait and poll granularity, exactly what
+// a real client experiences.
+func doOne(ctx context.Context, opts Opts, baseURL string, sr ScheduledRequest) outcome {
+	sendStart := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/jobs", strings.NewReader(string(sr.Body)))
+	if err != nil {
+		return outcome{err: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return outcome{err: true}
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return outcome{err: true}
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return outcome{rejected: true}
+	case http.StatusOK, http.StatusAccepted:
+	default:
+		return outcome{err: true}
+	}
+	var sub serve.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		return outcome{err: true}
+	}
+	if sub.Cached {
+		return outcome{completed: true, cached: true, latencyMs: msSince(sendStart)}
+	}
+
+	o := outcome{deduped: sub.Deduped}
+	for {
+		t := time.NewTimer(opts.PollInterval)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			o.err = true
+			return o
+		}
+		j, err := getJob(ctx, opts, baseURL, sub.Job.ID)
+		if err != nil {
+			o.err = true
+			return o
+		}
+		switch j.Status {
+		case serve.StatusDone:
+			o.completed = true
+			o.latencyMs = msSince(sendStart)
+			return o
+		case serve.StatusFailed, serve.StatusCancelled, serve.StatusPoisoned:
+			o.err = true
+			return o
+		}
+	}
+}
+
+func getJob(ctx context.Context, opts Opts, baseURL, id string) (serve.Job, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return serve.Job{}, err
+	}
+	resp, err := opts.Client.Do(req)
+	if err != nil {
+		return serve.Job{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return serve.Job{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serve.Job{}, fmt.Errorf("loadgen: GET job %s: HTTP %d", id, resp.StatusCode)
+	}
+	var j serve.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		return serve.Job{}, err
+	}
+	return j, nil
+}
+
+func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
+
+// WriteJSON renders a summary with stable formatting (indented, one
+// trailing newline) — the BENCH_SERVE.json on-disk form.
+func WriteJSON(w io.Writer, sum Summary) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sum)
+}
+
+// ReadJSON loads a summary file.
+func ReadJSON(path string) (Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return Summary{}, fmt.Errorf("loadgen: parsing %s: %w", path, err)
+	}
+	return sum, nil
+}
+
+// Gate compares a fresh summary against a baseline: jobs/s may not fall
+// more than tol below it, and p99 latency may not rise more than tol
+// above it. It returns one message per violation (empty = within
+// tolerance), mirroring bench.Compare's contract so CI treats both
+// gates identically.
+func Gate(current, baseline Summary, tol float64) []string {
+	var violations []string
+	if base := baseline.Measured.JobsPerSec; base > 0 {
+		if cur := current.Measured.JobsPerSec; cur < base*(1-tol) {
+			violations = append(violations, fmt.Sprintf(
+				"jobs/s %.1f fell more than %.0f%% below baseline %.1f", cur, tol*100, base))
+		}
+	}
+	if base := baseline.Measured.P99Ms; base > 0 {
+		if cur := current.Measured.P99Ms; cur > base*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"p99 %.2fms exceeds baseline %.2fms by more than %.0f%%", cur, base, tol*100))
+		}
+	}
+	return violations
+}
+
+// FormatSummary renders the human-facing run report printed by
+// `neofog-bench -serve`.
+func FormatSummary(sum Summary) string {
+	m := sum.Measured
+	return fmt.Sprintf(
+		"target=%s shards=%d seed=%d qps=%g duration=%.0fs\n"+
+			"requests=%d completed=%d hits=%d (ratio %.3f) deduped=%d rejected429=%d errors=%d dropped=%d\n"+
+			"jobs/s=%.1f p50=%.2fms p99=%.2fms p999=%.2fms elapsed=%.2fs\n"+
+			"schedule=%s\n",
+		sum.Target, sum.Shards, sum.Trace.Seed, sum.Trace.QPS, sum.Trace.DurationS,
+		sum.Trace.Requests, m.Completed, m.CacheHits, m.HitRatio, m.Deduped, m.Rejected429, m.Errors, m.Dropped,
+		m.JobsPerSec, m.P50Ms, m.P99Ms, m.P999Ms, m.ElapsedS,
+		sum.Trace.ScheduleSHA256[:16])
+}

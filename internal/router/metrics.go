@@ -1,0 +1,259 @@
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"neofog/internal/telemetry"
+)
+
+// requestSecondsBounds buckets routed-request latency: the router adds
+// microseconds, the shards add milliseconds-to-minutes.
+var requestSecondsBounds = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
+
+// routerMetrics is the router's own counter set plus a latency
+// histogram, kept deliberately tiny — the heavyweight series live on the
+// shards and are aggregated at scrape time.
+type routerMetrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	byShard  map[string]int64
+	latency  *telemetry.Histogram
+}
+
+func newRouterMetrics() *routerMetrics {
+	r := telemetry.New()
+	return &routerMetrics{
+		counters: map[string]int64{},
+		byShard:  map[string]int64{},
+		latency:  r.RegisterHistogram("router_request_seconds", requestSecondsBounds),
+	}
+}
+
+func (m *routerMetrics) inc(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.counters[name] += delta
+}
+
+func (m *routerMetrics) incShard(name string, delta int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byShard[name] += delta
+}
+
+func (m *routerMetrics) observeLatency(seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latency.Observe(seconds)
+}
+
+// routerCounterHelp documents the router's own counters; keep sorted.
+var routerCounterHelp = map[string]string{
+	"forward_errors_total":           "Forwarding attempts that failed in transport or were retried past a 5xx.",
+	"no_shard_total":                 "Requests that exhausted every replica without a delivered response (502 to the client).",
+	"requests_total":                 "Requests accepted by the router, all endpoints.",
+	"retries_total":                  "Times a request moved on to the next replica in ring order.",
+	"shard_health_transitions_total": "Shard healthy/degraded state flips observed by probes or transport errors.",
+}
+
+// metricFamily is one aggregated exposition family: help/type from the
+// first shard that exported it, series values summed across shards in
+// first-seen order (which preserves ascending histogram buckets).
+type metricFamily struct {
+	name    string
+	help    string
+	typ     string
+	order   []string
+	series  map[string]float64
+	counted map[string]bool
+}
+
+// aggregateMetrics parses one shard's Prometheus text exposition into
+// the running family set. The format subset is exactly what
+// internal/serve emits: "# HELP name text", "# TYPE name type", and
+// series lines "name[{labels}] value" whose label values contain no
+// spaces.
+func aggregateMetrics(fams map[string]*metricFamily, order *[]string, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				continue
+			}
+			kind, name, rest := fields[1], fields[2], fields[3]
+			f := ensureFamily(fams, order, name)
+			switch kind {
+			case "HELP":
+				if f.help == "" {
+					f.help = rest
+				}
+			case "TYPE":
+				if f.typ == "" {
+					f.typ = rest
+				}
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		series, raw := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			continue
+		}
+		name := series
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			name = series[:br]
+		}
+		// _bucket/_sum/_count series belong to their histogram family.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, suffix); ok {
+				if _, exists := fams[trimmed]; exists {
+					name = trimmed
+				}
+				break
+			}
+		}
+		f := ensureFamily(fams, order, name)
+		if _, seen := f.series[series]; !seen {
+			f.order = append(f.order, series)
+		}
+		f.series[series] += val
+	}
+	return sc.Err()
+}
+
+func ensureFamily(fams map[string]*metricFamily, order *[]string, name string) *metricFamily {
+	f, ok := fams[name]
+	if !ok {
+		f = &metricFamily{name: name, series: map[string]float64{}}
+		fams[name] = f
+		*order = append(*order, name)
+	}
+	return f
+}
+
+// handleMetrics serves the aggregated cluster exposition: the router's
+// own neofog_router_* section first, then every shard's neofog_serve_*
+// families with same-name series summed. Unreachable shards are skipped
+// (and counted); the scrape never fails because one shard is down.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fams := map[string]*metricFamily{}
+	var order []string
+	scraped := 0
+	for i := range rt.cfg.Shards {
+		body, err := rt.get(r, i, "/metrics")
+		if err != nil {
+			continue
+		}
+		if err := aggregateMetrics(fams, &order, strings.NewReader(string(body))); err == nil {
+			scraped++
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.writeOwnMetrics(w, scraped)
+
+	// Shard families in sorted name order for a deterministic scrape.
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		if f.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, f.help)
+		}
+		if f.typ != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+		}
+		for _, s := range f.order {
+			fmt.Fprintf(w, "%s %s\n", s, formatFloat(f.series[s]))
+		}
+	}
+}
+
+func (rt *Router) writeOwnMetrics(w io.Writer, scraped int) {
+	rt.metrics.mu.Lock()
+	counters := make(map[string]int64, len(rt.metrics.counters))
+	for k, v := range rt.metrics.counters {
+		counters[k] = v
+	}
+	byShard := make(map[string]int64, len(rt.metrics.byShard))
+	for k, v := range rt.metrics.byShard {
+		byShard[k] = v
+	}
+	lat := *rt.metrics.latency
+	lat.Counts = append([]int64(nil), rt.metrics.latency.Counts...)
+	rt.metrics.mu.Unlock()
+
+	names := make([]string, 0, len(routerCounterHelp))
+	for name := range routerCounterHelp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		full := "neofog_router_" + name
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			full, routerCounterHelp[name], full, full, counters[name])
+	}
+
+	fmt.Fprintf(w, "# HELP neofog_router_shard_requests_total Responses delivered, by serving shard.\n# TYPE neofog_router_shard_requests_total counter\n")
+	shardNames := make([]string, 0, len(rt.cfg.Shards))
+	for _, s := range rt.cfg.Shards {
+		shardNames = append(shardNames, s.Name)
+	}
+	sort.Strings(shardNames)
+	for _, name := range shardNames {
+		fmt.Fprintf(w, "neofog_router_shard_requests_total{shard=%q} %d\n", name, byShard[name])
+	}
+
+	fmt.Fprintf(w, "# HELP neofog_router_shard_healthy Shard health as last observed (1 healthy, 0 degraded).\n# TYPE neofog_router_shard_healthy gauge\n")
+	for i, s := range rt.cfg.Shards {
+		v := 0
+		if rt.healthy[i].Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "neofog_router_shard_healthy{shard=%q} %d\n", s.Name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP neofog_router_shards_scraped Shards whose /metrics answered this scrape.\n# TYPE neofog_router_shards_scraped gauge\nneofog_router_shards_scraped %d\n", scraped)
+
+	const rl = "neofog_router_request_seconds"
+	fmt.Fprintf(w, "# HELP %s Router-side request latency in seconds (forwarding included).\n# TYPE %s histogram\n", rl, rl)
+	cum := int64(0)
+	for i, bound := range lat.Bounds {
+		cum += lat.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", rl, formatFloat(bound), cum)
+	}
+	cum += lat.Counts[len(lat.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %s\n%s_count %d\n",
+		rl, cum, rl, formatFloat(lat.Sum), rl, lat.N)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// instrument wraps the API with the router's request counter and latency
+// histogram. SSE responses record at disconnect time like any other —
+// their latency lands in the overflow bucket, which is truthful: the
+// stream was open that long.
+func (rt *Router) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := rt.cfg.Clock()
+		rt.metrics.inc("requests_total", 1)
+		next.ServeHTTP(w, r)
+		rt.metrics.observeLatency(rt.cfg.Clock().Sub(start).Seconds())
+	})
+}

@@ -1,0 +1,181 @@
+package router
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neofog/internal/serve"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// gatedCluster is a cluster whose shards park every job at the start of
+// execution until release is called.
+func gatedCluster(t *testing.T, n int) (*testCluster, func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	var released atomic.Bool
+	release := func() {
+		if released.CompareAndSwap(false, true) {
+			close(gate)
+		}
+	}
+	c := startCluster(t, n, func(int) serve.Config {
+		return serve.Config{Workers: 2, ExecHook: func(string) { <-gate }}
+	})
+	t.Cleanup(release)
+	return c, release
+}
+
+// TestSSEFanThrough proves the router does not buffer event streams: the
+// opening status frame of a job parked mid-execution arrives at the
+// client while the job is provably unfinished, and the terminal result
+// frame follows once the job is released.
+func TestSSEFanThrough(t *testing.T) {
+	c, release := gatedCluster(t, 3)
+
+	_, _, raw := post(t, c.ts.URL, simBody(7))
+	var sub serve.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+
+	// Wait for the job to be parked in execution, then open the stream
+	// through the router.
+	waitFor(t, 30*time.Second, func() bool {
+		_, _, body := get(t, c.ts.URL, "/v1/jobs/"+sub.Job.ID)
+		var j serve.Job
+		return json.Unmarshal(body, &j) == nil && j.Status == serve.StatusRunning
+	}, "job never started running")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.ts.URL+"/v1/jobs/"+sub.Job.ID+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("stream content type %q", ct)
+	}
+	if resp.Header.Get(shardHeader) == "" {
+		t.Fatal("stream response missing shard attribution header")
+	}
+
+	// The first frame must arrive while the job is still parked — if the
+	// router buffered the stream until shard EOF, this read would hang
+	// until release and the terminal check below would catch nothing.
+	rd := bufio.NewReader(resp.Body)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading first frame: %v", err)
+	}
+	if !strings.HasPrefix(line, "event: status") {
+		t.Fatalf("first frame %q, want the opening status event", line)
+	}
+	// Cross-check the job really is still running: the frame beat
+	// completion, so the router fanned it through live.
+	_, _, body := get(t, c.ts.URL, "/v1/jobs/"+sub.Job.ID)
+	var j serve.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatalf("decode job: %v", err)
+	}
+	if j.Status != serve.StatusRunning {
+		t.Fatalf("job status %q when the first frame arrived; the ordering proof needs running", j.Status)
+	}
+
+	release()
+	var sawResult bool
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			break // stream ends after the terminal frame
+		}
+		if strings.HasPrefix(line, "event: result") {
+			sawResult = true
+		}
+	}
+	if !sawResult {
+		t.Fatal("stream ended without a terminal result frame")
+	}
+}
+
+// TestSSEDisconnectReleasesGoroutines opens several routed streams
+// against a parked job, disconnects the clients, and checks the
+// goroutine population returns to its baseline — the router must not
+// strand proxy goroutines on dead streams.
+func TestSSEDisconnectReleasesGoroutines(t *testing.T) {
+	c, release := gatedCluster(t, 3)
+
+	_, _, raw := post(t, c.ts.URL, simBody(3))
+	var sub serve.SubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		_, _, body := get(t, c.ts.URL, "/v1/jobs/"+sub.Job.ID)
+		var j serve.Job
+		return json.Unmarshal(body, &j) == nil && j.Status == serve.StatusRunning
+	}, "job never started running")
+
+	baseline := runtime.NumGoroutine()
+
+	const streams = 8
+	ctx, cancel := context.WithCancel(context.Background())
+	opened := make([]*http.Response, 0, streams)
+	for i := 0; i < streams; i++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.ts.URL+"/v1/jobs/"+sub.Job.ID+"/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("open stream %d: %v", i, err)
+		}
+		opened = append(opened, resp)
+		// Read the opening frame so the proxy path is fully engaged.
+		buf := make([]byte, 1)
+		if _, err := resp.Body.Read(buf); err != nil {
+			t.Fatalf("stream %d first byte: %v", i, err)
+		}
+	}
+	if grew := runtime.NumGoroutine(); grew <= baseline {
+		t.Fatalf("expected goroutine growth with %d open streams (baseline %d, now %d)", streams, baseline, grew)
+	}
+
+	cancel()
+	for _, resp := range opened {
+		resp.Body.Close()
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		runtime.GC() // nudge finalizer-driven transport cleanup
+		return runtime.NumGoroutine() <= baseline+2
+	}, "proxy goroutines leaked after client disconnects")
+
+	release()
+	waitDone(t, c.ts.URL, sub.Job.ID)
+}

@@ -84,15 +84,23 @@ func (s *Server) parseDeadline(r *http.Request) (time.Duration, error) {
 	return d, nil
 }
 
-// setRetryAfter renders a server retry hint as a Retry-After header,
-// rounded up to whole seconds (minimum 1 — zero would mean "immediately",
-// which defeats the point of rejecting).
-func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+// ceilSeconds converts a retry hint to whole seconds, always rounding UP
+// with a floor of 1: Retry-After is an integer header, and truncating a
+// sub-second hint to 0 would tell clients "retry immediately" — the
+// opposite of what a rejection means. Every place the server renders a
+// hint in seconds (the header and the human-readable rejection bodies)
+// goes through this one helper so they can never disagree.
+func ceilSeconds(d time.Duration) int64 {
 	secs := int64((d + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
 	}
-	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	return secs
+}
+
+// setRetryAfter renders a server retry hint as a Retry-After header.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	w.Header().Set("Retry-After", strconv.FormatInt(ceilSeconds(d), 10))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -128,8 +136,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			"deadline %s shorter than predicted queue wait %s: retry later", deadline, retryAfter.Round(time.Millisecond))
 	case outcomePoisoned:
 		setRetryAfter(w, retryAfter)
+		// Ceil, not Round: a 0.4s quarantine remainder must read "1s",
+		// matching the header — Round would render "0s".
 		writeError(w, http.StatusUnprocessableEntity,
-			"job key quarantined after repeated panics; retry after %s", retryAfter.Round(time.Second))
+			"job key quarantined after repeated panics; retry after %ds", ceilSeconds(retryAfter))
 	case outcomeCached:
 		writeJSON(w, http.StatusOK, SubmitResponse{Job: snap, Cached: true})
 	case outcomeDeduped:

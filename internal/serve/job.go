@@ -192,6 +192,20 @@ func normalizeRequest(req Request) (Request, string, error) {
 // request always lands on the same job.
 func jobID(key string) string { return "j-" + key[:16] }
 
+// Normalize is the exported face of normalizeRequest: it validates req,
+// fills its defaults, and returns the normalized request plus its
+// canonical content address. The router uses it to compute exactly the
+// key a shard would, which is what makes consistent-hash routing
+// cache-affine — router and shard can never disagree about a request's
+// identity.
+func Normalize(req Request) (Request, string, error) { return normalizeRequest(req) }
+
+// JobID derives the public job identifier from a canonical key, exported
+// for the router (job IDs embed the first 16 hex digits of the key, so
+// ID-addressed requests can be routed to the same shard the submission
+// landed on).
+func JobID(key string) string { return jobID(key) }
+
 // Statuses of a job's lifecycle. queued → running → done | failed |
 // cancelled | poisoned; cancelled can also strike a job still in the
 // queue. Poisoned means the run panicked and the key is quarantined —

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// Every path that renders a retry hint in whole seconds must round UP
+// with a floor of 1: truncation would turn a 0.4s hint into
+// "Retry-After: 0" — "retry immediately", the opposite of a rejection.
+// This is the unit battery behind the PR-8 audit of second-derivation
+// sites (setRetryAfter, the poisoned rejection body; the drain-time
+// index flush was also audited and stores full-resolution RFC 3339
+// timestamps, so it has no seconds to truncate).
+func TestCeilSecondsRoundsUp(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want int64
+	}{
+		{0, 1},                      // no hint still means "not now"
+		{-time.Second, 1},           // a negative hint cannot go below the floor
+		{time.Nanosecond, 1},        // the smallest positive hint rounds up
+		{400 * time.Millisecond, 1}, // the motivating case: 0.4s must not become 0
+		{999 * time.Millisecond, 1},
+		{time.Second, 1}, // exact seconds stay exact
+		{1001 * time.Millisecond, 2},
+		{1400 * time.Millisecond, 2}, // Round would give 1; ceil gives 2
+		{2500 * time.Millisecond, 3},
+		{time.Minute, 60},
+	}
+	for _, c := range cases {
+		if got := ceilSeconds(c.in); got != c.want {
+			t.Errorf("ceilSeconds(%s) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// The Retry-After header itself goes through the same helper: a
+// sub-second hint yields "1", never "0".
+func TestSetRetryAfterHeader(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{400 * time.Millisecond, "1"},
+		{0, "1"},
+		{1200 * time.Millisecond, "2"},
+		{5 * time.Second, "5"},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		setRetryAfter(rec, c.in)
+		if got := rec.Header().Get("Retry-After"); got != c.want {
+			t.Errorf("setRetryAfter(%s): header %q, want %q", c.in, got, c.want)
+		}
+	}
+}

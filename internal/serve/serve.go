@@ -87,6 +87,13 @@ type Config struct {
 	// ErrorLog, when non-nil, receives operational noise worth paging
 	// on: per-job panic stacks and disk-breaker transitions.
 	ErrorLog *log.Logger
+
+	// ExecHook, when non-nil, runs on the worker goroutine (keyed by the
+	// job's canonical key) after a job turns running and before its facade
+	// call. It exists for tests outside this package — the router's SSE
+	// fan-through and chaos batteries park jobs at a deterministic point
+	// with it. Production leaves it nil.
+	ExecHook func(key string)
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +163,9 @@ func New(cfg Config) (*Server, error) {
 		metrics:  newMetrics(),
 		byKey:    map[string]*job{},
 		poisoned: map[string]*poisonRecord{},
+	}
+	if hook := s.cfg.ExecHook; hook != nil {
+		s.beforeExecute = func(j *job) { hook(j.key) }
 	}
 	if s.cfg.CacheDir != "" {
 		brk := newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerProbe, s.cfg.Clock, s.metrics)

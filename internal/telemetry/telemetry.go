@@ -123,6 +123,44 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.N)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly inside the winning bucket — the same estimator
+// Prometheus's histogram_quantile uses, so dashboards and the serve
+// bench harness agree on what "p99" means. The first bucket interpolates
+// from 0; observations past the last bound are clamped to it (a
+// fixed-bucket histogram cannot know its true maximum). Returns 0 when
+// empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.N == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.N)
+	var cum float64
+	for i, c := range h.Counts {
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1] // overflow bucket: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		within := (rank - (cum - float64(c))) / float64(c)
+		return lo + (hi-lo)*within
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 func (h *Histogram) merge(o *Histogram) {
 	for i := range h.Counts {
 		if i < len(o.Counts) {

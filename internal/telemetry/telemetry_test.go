@@ -209,3 +209,41 @@ func TestSummaryTable(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := New()
+	h := r.RegisterHistogram("lat", []float64{1, 2, 5, 10})
+
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+
+	// 100 observations spread uniformly over (0, 10]: ten per unit.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0.10, 1},   // exactly the first bound
+		{0.05, 0.5}, // interpolated inside [0,1)
+		{0.20, 2},
+		{0.50, 5},
+		{0.75, 7.5}, // interpolated inside (5,10]
+		{1.00, 10},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// Out-of-range q clamps; overflow observations clamp to the last bound.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want %v", got, h.Quantile(0))
+	}
+	h.Observe(1e9)
+	if got := h.Quantile(1); got != 10 {
+		t.Errorf("overflow Quantile(1) = %v, want clamp to 10", got)
+	}
+}
