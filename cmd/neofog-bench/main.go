@@ -16,10 +16,15 @@
 // cache-hit ratio, rejection counts and exact latency quantiles into
 // BENCH_SERVE.json, gated against -serve-baseline when that file exists:
 //
-//	neofog-bench -serve                                     # 3 shards, 10s smoke
+//	neofog-bench -serve                                     # 3 shards, 10s smoke, both transports
 //	neofog-bench -serve -serve-qps 500 -serve-duration 30s
+//	neofog-bench -serve -serve-transport json                # JSON only (binary also accepted)
 //	neofog-bench -serve -serve-target http://127.0.0.1:8000  # aim at a live cluster
 //	neofog-bench -serve -serve-baseline BENCH_SERVE_BASELINE.json
+//
+// The -wire-encode / -wire-decode / -wire-extract-result flags are
+// stdin→stdout codec helpers so shell scripts can drive the binary
+// transport through curl; see wire.go.
 package main
 
 import (
@@ -60,11 +65,15 @@ func run() error {
 		showVersion  = flag.Bool("version", false, "print build version and exit")
 	)
 	sf := registerServeFlags()
+	wf := registerWireFlags()
 	flag.Parse()
 
 	if *showVersion {
 		fmt.Println("neofog-bench", version.String())
 		return nil
+	}
+	if wf.enabled() {
+		return runWire(wf)
 	}
 	if *sf.enabled {
 		return runServe(sf)

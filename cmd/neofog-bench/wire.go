@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"neofog/internal/wire"
+)
+
+// wireFlags are stdin→stdout codec helpers so shell scripts (the CI
+// binary-transport smoke in particular) can speak the wire format
+// through curl without a Go test harness:
+//
+//	neofog-bench -wire-encode < request.json |
+//	    curl --data-binary @- -H "Content-Type: application/x-neofog-wire" \
+//	        $URL/v1/bin/submit |
+//	    neofog-bench -wire-decode            # frame back to JSON
+//	curl $URL/v1/bin/jobs/$ID/result | neofog-bench -wire-extract-result
+type wireFlags struct {
+	encode  *bool
+	decode  *bool
+	extract *bool
+}
+
+func registerWireFlags() *wireFlags {
+	return &wireFlags{
+		encode:  flag.Bool("wire-encode", false, "read a JSON submission request on stdin, write its wire frame to stdout, exit"),
+		decode:  flag.Bool("wire-decode", false, "read one wire frame on stdin, print its record as JSON, exit (errors exit 2)"),
+		extract: flag.Bool("wire-extract-result", false, "read wire frames on stdin, write the first result frame's raw bytes to stdout, exit"),
+	}
+}
+
+func (f *wireFlags) enabled() bool { return *f.encode || *f.decode || *f.extract }
+
+func runWire(f *wireFlags) error {
+	in, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return fmt.Errorf("reading stdin: %w", err)
+	}
+	switch {
+	case *f.encode:
+		var req wire.Request
+		if err := json.Unmarshal(in, &req); err != nil {
+			return fmt.Errorf("stdin is not a JSON submission request: %w", err)
+		}
+		enc := wire.NewEncoder()
+		defer enc.Release()
+		_, err := os.Stdout.Write(enc.RequestFrame(req))
+		return err
+	case *f.extract:
+		// Bodies may carry the result as a trailing frame (cached submit,
+		// done-job poll), so scan rather than demand it first.
+		for rest := in; len(rest) > 0; {
+			typ, payload, next, err := wire.SplitFrame(rest)
+			if err != nil {
+				return err
+			}
+			if typ == wire.TypeResult {
+				_, err = os.Stdout.Write(payload)
+				return err
+			}
+			rest = next
+		}
+		return fmt.Errorf("no result frame in input")
+	default: // -wire-decode
+		typ, payload, _, err := wire.SplitFrame(in)
+		if err != nil {
+			return err
+		}
+		var rec any
+		switch typ {
+		case wire.TypeRequest:
+			rec, err = wire.DecodeRequest(payload)
+		case wire.TypeSubmit:
+			rec, err = wire.DecodeSubmit(payload)
+		case wire.TypeJob:
+			rec, err = wire.DecodeJob(payload)
+		case wire.TypeError:
+			rec, err = wire.DecodeError(payload)
+		case wire.TypeMatrixRequest:
+			rec, err = wire.DecodeMatrixRequest(payload)
+		case wire.TypeMatrixHeader:
+			rec, err = wire.DecodeMatrixHeader(payload)
+		case wire.TypeMatrixCell:
+			rec, err = wire.DecodeMatrixCell(payload)
+		case wire.TypeMatrixDone:
+			rec, err = wire.DecodeMatrixDone(payload)
+		case wire.TypeResult:
+			// Result payloads are already the stored body, verbatim.
+			_, err = os.Stdout.Write(payload)
+			return err
+		default:
+			return fmt.Errorf("unknown frame type 0x%02x", typ)
+		}
+		if err != nil {
+			return err
+		}
+		out, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Println(string(out))
+		return err
+	}
+}

@@ -8,6 +8,13 @@
 // shards (failed /readyz probes or transport errors) are skipped in ring
 // order, and idempotent submissions retry on the next replica.
 //
+// The binary wire surface (/v1/bin/..., Content-Type
+// application/x-neofog-wire) fans through with the same key affinity:
+// the router decodes just enough of the submit frame to hash its
+// canonical key, then relays frames verbatim. Batch matrix submissions
+// (POST /v1/experiments/matrix, JSON or binary) route as one unit by
+// their matrix key so a whole sweep keeps cache affinity on one shard.
+//
 // Usage:
 //
 //	neofog-router -shards http://10.0.0.1:8080,http://10.0.0.2:8080

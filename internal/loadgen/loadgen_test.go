@@ -226,3 +226,64 @@ func TestRunDeterministicTrace(t *testing.T) {
 		t.Fatal("digest lost in round-trip")
 	}
 }
+
+// TestRunBinaryTransport replays the identical seeded schedule over both
+// transports against fresh clusters and checks the comparison the bench
+// report gates on: same work completed, meaningfully fewer bytes on the
+// wire for binary, and bytes/allocs fields populated on both sides.
+func TestRunBinaryTransport(t *testing.T) {
+	spec := TraceSpec{Seed: 777, QPS: 400, Duration: 250 * time.Millisecond, Nodes: 3, Rounds: 10}
+	schedule, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatalf("BuildSchedule: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	run := func(transport string) Summary {
+		cluster, err := StartCluster(3, serve.Config{Workers: 2}, router.Config{ProbeInterval: -1})
+		if err != nil {
+			t.Fatalf("StartCluster: %v", err)
+		}
+		defer cluster.Close()
+		sum, err := Run(ctx, cluster.RouterURL, spec, schedule, Opts{Transport: transport})
+		if err != nil {
+			t.Fatalf("Run(%s): %v", transport, err)
+		}
+		return sum
+	}
+	js := run(TransportJSON)
+	bin := run(TransportBinary)
+
+	if js.Transport != TransportJSON || bin.Transport != TransportBinary {
+		t.Fatalf("transports recorded as %q and %q", js.Transport, bin.Transport)
+	}
+	for _, s := range []Summary{js, bin} {
+		m := s.Measured
+		if m.Errors != 0 || m.Dropped != 0 {
+			t.Fatalf("%s run saw errors=%d dropped=%d", s.Transport, m.Errors, m.Dropped)
+		}
+		if m.Completed+m.Rejected429 != s.Trace.Requests {
+			t.Fatalf("%s accounting leak: %d + %d ≠ %d", s.Transport, m.Completed, m.Rejected429, s.Trace.Requests)
+		}
+		if m.BytesTx <= 0 || m.BytesRx <= 0 {
+			t.Fatalf("%s run counted no wire bytes: tx=%d rx=%d", s.Transport, m.BytesTx, m.BytesRx)
+		}
+		if m.AllocsPerRequest <= 0 {
+			t.Fatalf("%s run counted no allocations", s.Transport)
+		}
+	}
+	if js.Measured.Completed != bin.Measured.Completed && js.Measured.Rejected429 == 0 && bin.Measured.Rejected429 == 0 {
+		t.Fatalf("transports completed different work: json %d, binary %d",
+			js.Measured.Completed, bin.Measured.Completed)
+	}
+
+	cmp := Compare(js.Measured, bin.Measured)
+	if cmp.BytesReduction < 0.30 {
+		t.Fatalf("binary transport saved only %.1f%% of wire bytes (json tx=%d rx=%d, binary tx=%d rx=%d), want ≥30%%",
+			cmp.BytesReduction*100, js.Measured.BytesTx, js.Measured.BytesRx, bin.Measured.BytesTx, bin.Measured.BytesRx)
+	}
+	if cmp.JobsPerSecRatio <= 0 {
+		t.Fatalf("throughput ratio not computed: %+v", cmp)
+	}
+}

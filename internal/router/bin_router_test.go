@@ -1,0 +1,321 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"neofog"
+	"neofog/internal/serve"
+	"neofog/internal/wire"
+)
+
+// binRequest builds the wire frame for one small simulation, cloned out
+// of the pooled encoder.
+func binRequest(t *testing.T, seed int64) ([]byte, serve.Request) {
+	t.Helper()
+	req := serve.Request{Config: &neofog.SimulationConfig{Nodes: 4, Rounds: 20, Seed: seed}}
+	e := wire.NewEncoder()
+	defer e.Release()
+	return bytes.Clone(e.RequestFrame(req)), req
+}
+
+// ownerOf walks the ring for a request the way the router must.
+func ownerOf(t *testing.T, c *testCluster, req serve.Request) string {
+	t.Helper()
+	_, key, err := serve.Normalize(req)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return c.rt.cfg.Shards[c.rt.ring.owner(routingKey(key))].Name
+}
+
+// postBin posts a wire-framed body to any base URL.
+func postBin(t *testing.T, baseURL, path string, body []byte) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(baseURL+path, wire.ContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s response: %v", path, err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// oneFrame unwraps a single-frame body.
+func oneFrame(t *testing.T, body []byte, want byte) []byte {
+	t.Helper()
+	typ, payload, rest, err := wire.SplitFrame(body)
+	if err != nil || typ != want || len(rest) != 0 {
+		t.Fatalf("want one type-%#x frame, got type %#x rest %d err %v", want, typ, len(rest), err)
+	}
+	return payload
+}
+
+// TestRouterBinFanThrough is the binary twin of TestRouterKeyAffinity
+// plus the routed-vs-direct byte-equality check: binary submissions land
+// on the ring owner, resubmissions hit its cache, and a binary job or
+// result fetched through the router is byte-identical to fetching it
+// from the owning shard directly.
+func TestRouterBinFanThrough(t *testing.T) {
+	c := startCluster(t, 3, nil)
+	shardURL := map[string]string{}
+	for i, s := range c.rt.cfg.Shards {
+		shardURL[s.Name] = c.shardTS[i].URL
+	}
+	shardsHit := map[string]bool{}
+	for seed := int64(0); seed < 12; seed++ {
+		frame, req := binRequest(t, seed)
+		want := ownerOf(t, c, req)
+
+		code, hdr, raw := postBin(t, c.ts.URL, "/v1/bin/submit", frame)
+		if code != http.StatusOK && code != http.StatusAccepted {
+			t.Fatalf("seed %d: submit status %d", seed, code)
+		}
+		if got := hdr.Get(shardHeader); got != want {
+			t.Fatalf("seed %d: binary submit routed to %q, ring owner is %q", seed, got, want)
+		}
+		shardsHit[want] = true
+		subTyp, subPayload, subRest, subErr := wire.SplitFrame(raw)
+		if subErr != nil || subTyp != wire.TypeSubmit {
+			t.Fatalf("seed %d: submit frame type %#x err %v", seed, subTyp, subErr)
+		}
+		sub, err := wire.DecodeSubmit(subPayload)
+		if err != nil {
+			t.Fatalf("seed %d: decode submit frame: %v", seed, err)
+		}
+		// Seeds that normalize onto an earlier key (0 pins to the regime
+		// default) cache-hit immediately and carry the result inline.
+		if code == http.StatusOK {
+			oneFrame(t, subRest, wire.TypeResult)
+		} else if len(subRest) != 0 {
+			t.Fatalf("seed %d: fresh submit carried %d trailing bytes", seed, len(subRest))
+		}
+		waitDone(t, c.ts.URL, sub.Job.ID)
+
+		code, hdr, raw = postBin(t, c.ts.URL, "/v1/bin/submit", frame)
+		if code != http.StatusOK {
+			t.Fatalf("seed %d: binary resubmit status %d, want 200 cache hit", seed, code)
+		}
+		if got := hdr.Get(shardHeader); got != want {
+			t.Fatalf("seed %d: resubmission routed to %q, first went to %q", seed, got, want)
+		}
+		typ, payload, rest, serr := wire.SplitFrame(raw)
+		if serr != nil || typ != wire.TypeSubmit {
+			t.Fatalf("seed %d: resubmit first frame type %#x err %v", seed, typ, serr)
+		}
+		re, err := wire.DecodeSubmit(payload)
+		if err != nil || !re.Cached {
+			t.Fatalf("seed %d: resubmit cached=%v err=%v — affinity lost", seed, re.Cached, err)
+		}
+		// The cache hit's inline result frame fans through the router too.
+		if inline := oneFrame(t, rest, wire.TypeResult); len(inline) == 0 {
+			t.Fatalf("seed %d: cached resubmit carried no inline result", seed)
+		}
+
+		// Routed and direct answers must be the same bytes, frame and all.
+		for _, path := range []string{
+			"/v1/bin/jobs/" + sub.Job.ID,
+			"/v1/bin/jobs/" + sub.Job.ID + "/result",
+		} {
+			codeR, hdrR, routed := get(t, c.ts.URL, path)
+			codeD, _, direct := get(t, shardURL[want], path)
+			if codeR != http.StatusOK || codeD != http.StatusOK {
+				t.Fatalf("seed %d: %s routed %d direct %d", seed, path, codeR, codeD)
+			}
+			if hdrR.Get(shardHeader) != want {
+				t.Fatalf("seed %d: %s routed to %q, want %q", seed, path, hdrR.Get(shardHeader), want)
+			}
+			if !bytes.Equal(routed, direct) {
+				t.Fatalf("seed %d: %s routed bytes differ from direct:\nrouted %x\ndirect %x", seed, path, routed, direct)
+			}
+		}
+
+		// And the binary result must be the JSON result minus its newline.
+		_, _, jsonBody := get(t, c.ts.URL, "/v1/jobs/"+sub.Job.ID+"/result")
+		_, _, binBody := get(t, c.ts.URL, "/v1/bin/jobs/"+sub.Job.ID+"/result")
+		if got := oneFrame(t, binBody, wire.TypeResult); !bytes.Equal(got, bytes.TrimSuffix(jsonBody, []byte("\n"))) {
+			t.Fatalf("seed %d: binary result differs from JSON result", seed)
+		}
+	}
+	if len(shardsHit) < 2 {
+		t.Fatalf("12 seeds landed on %d shard(s); the split is degenerate", len(shardsHit))
+	}
+}
+
+// TestRouterBinRetryNextReplica kills a binary submission's owner shard
+// and requires the router to land the idempotent submission on the next
+// replica instead of surfacing the failure.
+func TestRouterBinRetryNextReplica(t *testing.T) {
+	c := startCluster(t, 3, nil)
+	frame, req := binRequest(t, 99)
+	owner := ownerOf(t, c, req)
+	for i, s := range c.rt.cfg.Shards {
+		if s.Name == owner {
+			c.shardTS[i].Close()
+		}
+	}
+
+	code, hdr, raw := postBin(t, c.ts.URL, "/v1/bin/submit", frame)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("submit with dead owner: status %d body %x", code, raw)
+	}
+	got := hdr.Get(shardHeader)
+	if got == owner || got == "" {
+		t.Fatalf("submission served by %q, want a surviving replica (owner %q is dead)", got, owner)
+	}
+	sub, err := wire.DecodeSubmit(oneFrame(t, raw, wire.TypeSubmit))
+	if err != nil {
+		t.Fatalf("decode submit frame: %v", err)
+	}
+	if sub.Job.ID == "" {
+		t.Fatalf("no job ID from the surviving replica")
+	}
+	if c.rt.metrics.counter("retries_total") == 0 {
+		t.Fatalf("retries_total = 0; the router did not record the failover")
+	}
+}
+
+// TestRouterMatrixFanThrough routes a full 3×3×3 matrix: the stream must
+// come from the matrix key's ring owner, complete every cell, and a
+// rerun must be all cache hits — proof the whole batch kept affinity.
+func TestRouterMatrixFanThrough(t *testing.T) {
+	c := startCluster(t, 3, nil)
+	m := serve.MatrixRequest{
+		Systems:     []string{string(neofog.SystemVP), string(neofog.SystemNVP), string(neofog.SystemNEOFog)},
+		Weathers:    []string{string(neofog.WeatherSunny), string(neofog.WeatherOvercast), string(neofog.WeatherRainy)},
+		Intensities: []float64{0, 60, 120},
+		Nodes:       3,
+		Rounds:      10,
+		Seed:        5,
+		Parallel:    4,
+	}
+	_, _, matrixKey, err := serve.MatrixCells(m)
+	if err != nil {
+		t.Fatalf("MatrixCells: %v", err)
+	}
+	want := c.rt.cfg.Shards[c.rt.ring.owner(routingKey(matrixKey))].Name
+
+	runJSON := func(wantCached bool) {
+		body, _ := json.Marshal(m)
+		resp, err := http.Post(c.ts.URL+"/v1/experiments/matrix", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST matrix: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("matrix status %d: %s", resp.StatusCode, raw)
+		}
+		if got := resp.Header.Get(shardHeader); got != want {
+			t.Fatalf("matrix routed to %q, ring owner of its key is %q", got, want)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		var lines [][]byte
+		for sc.Scan() {
+			lines = append(lines, bytes.Clone(sc.Bytes()))
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan matrix stream: %v", err)
+		}
+		if len(lines) != 1+27+1 {
+			t.Fatalf("stream has %d lines, want header + 27 cells + done", len(lines))
+		}
+		var header serve.MatrixHeader
+		if err := json.Unmarshal(lines[0], &header); err != nil || header.Key != matrixKey {
+			t.Fatalf("header %s (err %v), want key %s", lines[0], err, matrixKey)
+		}
+		for _, line := range lines[1 : 1+27] {
+			var cell serve.MatrixCell
+			if err := json.Unmarshal(line, &cell); err != nil {
+				t.Fatalf("decode cell %s: %v", line, err)
+			}
+			if cell.Error != "" || cell.Job.Status != serve.StatusDone {
+				t.Fatalf("cell %d: error %q status %q", cell.Index, cell.Error, cell.Job.Status)
+			}
+			if wantCached && !cell.Cached {
+				t.Fatalf("cell %d not cached on rerun — batch affinity lost", cell.Index)
+			}
+		}
+		var done serve.MatrixDone
+		if err := json.Unmarshal(lines[28], &done); err != nil || done.Done != 27 || done.Failed != 0 {
+			t.Fatalf("done line %s (err %v), want 27/0", lines[28], err)
+		}
+	}
+	runJSON(false)
+	runJSON(true)
+
+	// The binary flavor routes by the same key and streams the same cells.
+	binFrame := func() []byte {
+		e := wire.NewEncoder()
+		defer e.Release()
+		return bytes.Clone(e.MatrixRequestFrame(m))
+	}()
+	resp, err := http.Post(c.ts.URL+"/v1/experiments/matrix", wire.ContentType, bytes.NewReader(binFrame))
+	if err != nil {
+		t.Fatalf("POST binary matrix: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary matrix status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(shardHeader); got != want {
+		t.Fatalf("binary matrix routed to %q, want %q", got, want)
+	}
+	br := bufio.NewReader(resp.Body)
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.TypeMatrixHeader {
+		t.Fatalf("first frame type %#x err %v", typ, err)
+	}
+	header, err := wire.DecodeMatrixHeader(payload)
+	if err != nil || header.Key != matrixKey {
+		t.Fatalf("binary header %+v (err %v), want key %s", header, err, matrixKey)
+	}
+	cells, dones := 0, 0
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read frame: %v", err)
+		}
+		switch typ {
+		case wire.TypeMatrixCell:
+			cell, err := wire.DecodeMatrixCell(payload)
+			if err != nil || !cell.Cached {
+				t.Fatalf("binary cell %+v (err %v), want cached", cell, err)
+			}
+			cells++
+		case wire.TypeMatrixDone:
+			dones++
+		default:
+			t.Fatalf("unexpected frame type %#x", typ)
+		}
+	}
+	if cells != 27 || dones != 1 {
+		t.Fatalf("binary stream had %d cells and %d done frames, want 27 and 1", cells, dones)
+	}
+}
+
+// TestRouterBinBadFrame pins the router's own rejection shape: a body no
+// shard could parse still routes (to the ring's invalid-request owner)
+// and the shard's wire-framed 400 fans back through unchanged.
+func TestRouterBinBadFrame(t *testing.T) {
+	c := startCluster(t, 3, nil)
+	code, _, raw := postBin(t, c.ts.URL, "/v1/bin/submit", []byte("junk"))
+	if code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 fanned through", code)
+	}
+	e, err := wire.DecodeError(oneFrame(t, raw, wire.TypeError))
+	if err != nil || e.Code != http.StatusBadRequest {
+		t.Fatalf("routed rejection is not a wire error frame: %+v err %v", e, err)
+	}
+}

@@ -42,6 +42,12 @@ func (m *routerMetrics) inc(name string, delta int64) {
 	m.counters[name] += delta
 }
 
+func (m *routerMetrics) counter(name string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
 func (m *routerMetrics) incShard(name string, delta int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()

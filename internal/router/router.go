@@ -10,6 +10,12 @@
 // shard that already holds (or is already computing) its result: the
 // cluster's caches stay as coherent as one daemon's.
 //
+// The binary wire transport fans through with the same affinity: the
+// router decodes the submission frame just far enough to recover the
+// canonical key, then forwards the frame verbatim. Batch matrices route
+// as one unit by their matrix key (a hash over every cell key) and
+// stream cell completions through unbuffered, like SSE.
+//
 // Failure handling mirrors the serve layer's: shards are probed via
 // /readyz on an interval, a transport error marks a shard degraded on
 // the spot, and degraded shards are skipped in ring order — submissions
@@ -35,6 +41,7 @@ import (
 
 	"neofog/internal/serve"
 	"neofog/internal/version"
+	"neofog/internal/wire"
 )
 
 // shardHeader names the shard that served a routed response — a debug
@@ -260,7 +267,11 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", rt.handleByID)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", rt.handleByID)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleByID)
+	mux.HandleFunc("POST /v1/bin/submit", rt.handleBinSubmit)
+	mux.HandleFunc("GET /v1/bin/jobs/{id}", rt.handleByID)
+	mux.HandleFunc("GET /v1/bin/jobs/{id}/result", rt.handleByID)
 	mux.HandleFunc("GET /v1/experiments", rt.handleExperiments)
+	mux.HandleFunc("POST /v1/experiments/matrix", rt.handleMatrix)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	mux.HandleFunc("GET /metrics", rt.handleMetrics)
@@ -282,6 +293,17 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, struct {
 		Error string `json:"error"`
 	}{fmt.Sprintf(format, args...)})
+}
+
+// writeWireError is the binary surface's writeError: one TypeError
+// frame, same shape the shards emit, so a routed client never needs a
+// JSON decoder on the binary paths.
+func writeWireError(w http.ResponseWriter, status int, format string, args ...any) {
+	e := wire.NewEncoder()
+	defer e.Release()
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(status)
+	w.Write(e.ErrorFrame(wire.Error{Code: status, Message: fmt.Sprintf(format, args...)}))
 }
 
 // hopByHop are the headers a proxy must not forward (RFC 9110 §7.6.1).
@@ -334,16 +356,24 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, i int, body []
 		h[k] = vs
 	}
 	h.Set(shardHeader, shard.Name)
-	streaming := strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream")
-	if streaming {
-		// SSE outlives any sane write timeout; lift it for this response
-		// only (best-effort, exactly like the shards do).
+	if streamingContentType(resp.Header.Get("Content-Type")) {
+		// Streams outlive any sane write timeout; lift it for this
+		// response only (best-effort, exactly like the shards do).
 		http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	}
 	w.WriteHeader(resp.StatusCode)
 	flushingCopy(w, resp.Body)
 	rt.metrics.incShard(rt.cfg.Shards[i].Name, 1)
 	return true
+}
+
+// streamingContentType reports response types the router must relay
+// unbuffered with the write deadline lifted: SSE job streams, ndjson
+// matrix streams, and wire-framed binary streams.
+func streamingContentType(ct string) bool {
+	return strings.HasPrefix(ct, "text/event-stream") ||
+		strings.HasPrefix(ct, "application/x-ndjson") ||
+		strings.HasPrefix(ct, wire.ContentType)
 }
 
 // flushingCopy copies src to w flushing after every read, so a proxied
@@ -453,10 +483,96 @@ func (rt *Router) forwardSubmit(w http.ResponseWriter, r *http.Request, i int, b
 		h[k] = vs
 	}
 	h.Set(shardHeader, shard.Name)
+	if streamingContentType(resp.Header.Get("Content-Type")) {
+		// Matrix submissions answer with a long-lived cell stream.
+		http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	}
 	w.WriteHeader(resp.StatusCode)
 	flushingCopy(w, resp.Body)
 	rt.metrics.incShard(shard.Name, 1)
 	return true
+}
+
+// handleBinSubmit routes a binary submission exactly like handleSubmit
+// routes a JSON one: derive the canonical key the way a shard would —
+// here by decoding the wire frame — and walk the same candidate order
+// with the same retry rules. Frames a shard would reject still route (to
+// the primary), so the rejection frame is byte-identical to a single
+// daemon's.
+func (rt *Router) handleBinSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	rkey := "invalid-request"
+	if typ, payload, rest, ferr := wire.SplitFrame(body); ferr == nil && typ == wire.TypeRequest && len(rest) == 0 {
+		if req, derr := wire.DecodeRequest(payload); derr == nil {
+			if _, key, nerr := serve.Normalize(req); nerr == nil {
+				rkey = routingKey(key)
+			}
+		}
+	}
+	cands := rt.candidates(rkey)
+	for n, i := range cands {
+		if n > 0 {
+			rt.metrics.inc("retries_total", 1)
+		}
+		if rt.forwardSubmit(w, r, i, body, n == len(cands)-1) {
+			return
+		}
+	}
+	rt.metrics.inc("no_shard_total", 1)
+	writeWireError(w, http.StatusBadGateway, "no shard reachable for this request")
+}
+
+// handleMatrix routes a whole experiment matrix as one unit: the batch's
+// routing key is the matrix key (a hash over every cell key), so one
+// matrix streams from one shard and identical matrices land on the shard
+// already holding their cells. The flavor follows the request's
+// Content-Type, mirroring the shards' negotiation.
+func (rt *Router) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	binary := strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType)
+	fail := func(status int, format string, args ...any) {
+		if binary {
+			writeWireError(w, status, format, args...)
+		} else {
+			writeError(w, status, format, args...)
+		}
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		fail(http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	rkey := "invalid-request"
+	var m serve.MatrixRequest
+	decoded := false
+	if binary {
+		if typ, payload, rest, ferr := wire.SplitFrame(body); ferr == nil && typ == wire.TypeMatrixRequest && len(rest) == 0 {
+			if m, err = wire.DecodeMatrixRequest(payload); err == nil {
+				decoded = true
+			}
+		}
+	} else {
+		decoded = json.Unmarshal(body, &m) == nil
+	}
+	if decoded {
+		if _, _, key, merr := serve.MatrixCells(m); merr == nil {
+			rkey = routingKey(key)
+		}
+	}
+	cands := rt.candidates(rkey)
+	for n, i := range cands {
+		if n > 0 {
+			rt.metrics.inc("retries_total", 1)
+		}
+		if rt.forwardSubmit(w, r, i, body, n == len(cands)-1) {
+			return
+		}
+	}
+	rt.metrics.inc("no_shard_total", 1)
+	fail(http.StatusBadGateway, "no shard reachable for this request")
 }
 
 // handleByID routes job, result, stream and cancel requests by the key
@@ -474,6 +590,10 @@ func (rt *Router) handleByID(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.metrics.inc("no_shard_total", 1)
+	if strings.HasPrefix(r.URL.Path, "/v1/bin/") {
+		writeWireError(w, http.StatusBadGateway, "no shard reachable for job %q", r.PathValue("id"))
+		return
+	}
 	writeError(w, http.StatusBadGateway, "no shard reachable for job %q", r.PathValue("id"))
 }
 

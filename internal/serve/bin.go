@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"neofog/internal/wire"
+)
+
+// This file mounts the binary wire transport: the same content-addressed
+// job store behind POST /v1/jobs, reachable through internal/wire frames
+// instead of JSON. The two transports share normalization, keys, and the
+// single-flight critical section, so a submission is the same job no
+// matter which surface it arrives on; only the encoding differs. Binary
+// job frames are pull-based — snapshots travel without their result
+// bodies — so in-flight status polls cost tens of bytes. The result
+// itself crosses the wire as a trailing TypeResult frame exactly when
+// it exists: after the submit frame on a cache hit, after the job frame
+// on a done-job poll. The result endpoint refetches it on demand.
+
+// writeWireError renders one TypeError frame with the given HTTP
+// status. Code repeats the status inside the payload so stream
+// consumers that no longer see response headers still know what failed.
+func writeWireError(w http.ResponseWriter, status int, format string, args ...any) {
+	e := wire.NewEncoder()
+	defer e.Release()
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(status)
+	w.Write(e.ErrorFrame(wire.Error{Code: status, Message: fmt.Sprintf(format, args...)}))
+}
+
+// writeWireFrame writes one framed record with the given status.
+func writeWireFrame(w http.ResponseWriter, status int, frame []byte) {
+	w.Header().Set("Content-Type", wire.ContentType)
+	w.WriteHeader(status)
+	w.Write(frame)
+}
+
+// stripResult drops the result body from a job snapshot: binary job
+// frames carry job state, never result bytes — those travel in their
+// own TypeResult frame (inline on a cached submit, or from
+// /v1/bin/jobs/{id}/result) instead of re-shipped with every poll.
+func stripResult(snap Job) Job {
+	snap.Result = nil
+	return snap
+}
+
+// handleBinSubmit is POST /v1/bin/submit: one TypeRequest frame in, a
+// TypeSubmit (or TypeError) frame out — followed by a TypeResult frame
+// in the same body on a cache hit. Outcome-to-status mapping is
+// identical to the JSON endpoint's, Retry-After and X-Neofog-Job
+// included — the transports differ only in encoding.
+func (s *Server) handleBinSubmit(w http.ResponseWriter, r *http.Request) {
+	s.metrics.inc("bin_requests_total", 1)
+	if mt, ok := negotiateContentType(r, wire.ContentType); !ok {
+		writeWireError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want %s)", mt, wire.ContentType)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	typ, payload, rest, err := wire.SplitFrame(body)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "bad frame: %v", err)
+		return
+	}
+	if typ != wire.TypeRequest || len(rest) != 0 {
+		writeWireError(w, http.StatusBadRequest, "want exactly one request frame (type %#x)", wire.TypeRequest)
+		return
+	}
+	req, err := wire.DecodeRequest(payload)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "bad request frame: %v", err)
+		return
+	}
+	norm, key, err := normalizeRequest(req)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	deadline, err := s.parseDeadline(r)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snap, outcome, retryAfter := s.submit(norm, key, deadline)
+	if snap.ID != "" {
+		w.Header().Set(jobHeader, snap.ID)
+	}
+	e := wire.NewEncoder()
+	defer e.Release()
+	switch outcome {
+	case outcomeDraining:
+		writeWireError(w, http.StatusServiceUnavailable, "draining: not accepting new jobs")
+	case outcomeQueueFull:
+		setRetryAfter(w, retryAfter)
+		writeWireError(w, http.StatusTooManyRequests, "queue full (depth %d): retry later", s.cfg.QueueDepth)
+	case outcomeDeadline:
+		setRetryAfter(w, retryAfter)
+		writeWireError(w, http.StatusTooManyRequests,
+			"deadline %s shorter than predicted queue wait %s: retry later", deadline, retryAfter.Round(time.Millisecond))
+	case outcomePoisoned:
+		setRetryAfter(w, retryAfter)
+		writeWireError(w, http.StatusUnprocessableEntity,
+			"job key quarantined after repeated panics; retry after %ds", ceilSeconds(retryAfter))
+	case outcomeCached:
+		// A cache hit answers in one exchange, as the JSON endpoint
+		// does: the submit frame, then the stored result as a second
+		// frame in the same body. Framing makes the two-record response
+		// free, and it spares the client a whole extra round trip on
+		// the hot path. (w.Write copies, so reusing e across the two
+		// emits is safe.)
+		w.Header().Set("Content-Type", wire.ContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(e.SubmitFrame(SubmitResponse{Job: stripResult(snap), Cached: true}))
+		w.Write(e.ResultFrame(snap.Result))
+	case outcomeDeduped:
+		writeWireFrame(w, http.StatusAccepted, e.SubmitFrame(SubmitResponse{Job: stripResult(snap), Deduped: true}))
+	default:
+		writeWireFrame(w, http.StatusAccepted, e.SubmitFrame(SubmitResponse{Job: stripResult(snap)}))
+	}
+}
+
+// handleBinJob is GET /v1/bin/jobs/{id}: one TypeJob frame, result
+// stripped. A done job appends its result as a trailing TypeResult
+// frame so the poll that discovers completion also delivers the bytes —
+// in-flight polls stay tiny, and no transport round trip is spent on a
+// separate result fetch.
+func (s *Server) handleBinJob(w http.ResponseWriter, r *http.Request) {
+	s.metrics.inc("bin_requests_total", 1)
+	snap, ok := s.snapshotByID(r.PathValue("id"))
+	if !ok {
+		writeWireError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	e := wire.NewEncoder()
+	defer e.Release()
+	writeWireFrame(w, http.StatusOK, e.JobFrame(stripResult(snap)))
+	if snap.Status == StatusDone {
+		w.Write(e.ResultFrame(snap.Result))
+	}
+}
+
+// handleBinResult is GET /v1/bin/jobs/{id}/result: the stored result
+// bytes, verbatim, as one TypeResult frame — no intermediate JSON
+// marshal, no trailing newline, byte-identical to the body the JSON
+// endpoint serves (which appends one newline for curl friendliness).
+func (s *Server) handleBinResult(w http.ResponseWriter, r *http.Request) {
+	s.metrics.inc("bin_requests_total", 1)
+	snap, ok := s.snapshotByID(r.PathValue("id"))
+	if !ok {
+		writeWireError(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	switch snap.Status {
+	case StatusDone:
+		e := wire.NewEncoder()
+		defer e.Release()
+		writeWireFrame(w, http.StatusOK, e.ResultFrame(snap.Result))
+	case StatusPoisoned:
+		writeWireError(w, http.StatusUnprocessableEntity, "job %s %s: %s", snap.ID, snap.Status, snap.Error)
+	case StatusFailed, StatusCancelled:
+		writeWireError(w, http.StatusConflict, "job %s %s: %s", snap.ID, snap.Status, snap.Error)
+	default:
+		writeWireError(w, http.StatusConflict, "job %s is %s; poll or stream until done", snap.ID, snap.Status)
+	}
+}

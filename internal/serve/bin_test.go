@@ -1,0 +1,595 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"neofog"
+	"neofog/internal/wire"
+)
+
+// frameRequest encodes one Request as a wire frame, cloned so it
+// outlives the pooled encoder.
+func frameRequest(t *testing.T, req Request) []byte {
+	t.Helper()
+	e := wire.NewEncoder()
+	defer e.Release()
+	return bytes.Clone(e.RequestFrame(req))
+}
+
+// postWire POSTs a wire-framed body and returns status plus raw body.
+func postWire(t *testing.T, ts *httptest.Server, path string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, wire.ContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s response: %v", path, err)
+	}
+	return resp.StatusCode, raw
+}
+
+// splitOne asserts the body is exactly one frame of the wanted type and
+// returns its payload.
+func splitOne(t *testing.T, body []byte, want byte) []byte {
+	t.Helper()
+	typ, payload, rest, err := wire.SplitFrame(body)
+	if err != nil {
+		t.Fatalf("SplitFrame: %v (body %x)", err, body)
+	}
+	if typ != want || len(rest) != 0 {
+		t.Fatalf("frame type %#x with %d trailing bytes, want one type-%#x frame", typ, len(rest), want)
+	}
+	return payload
+}
+
+// splitCachedSubmit unwraps a cached binary submit body: a TypeSubmit
+// frame followed by the inline TypeResult frame.
+func splitCachedSubmit(t *testing.T, body []byte) (SubmitResponse, []byte) {
+	t.Helper()
+	typ, payload, rest, err := wire.SplitFrame(body)
+	if err != nil {
+		t.Fatalf("SplitFrame: %v (body %x)", err, body)
+	}
+	if typ != wire.TypeSubmit {
+		t.Fatalf("first frame type %#x, want submit", typ)
+	}
+	sr, err := wire.DecodeSubmit(payload)
+	if err != nil {
+		t.Fatalf("decode submit frame: %v", err)
+	}
+	return sr, splitOne(t, rest, wire.TypeResult)
+}
+
+// binWaitDone polls a job over the binary surface until it is done.
+func binWaitDone(t *testing.T, ts *httptest.Server, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, raw := getBody(t, ts, "/v1/bin/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET bin job %s: status %d body %x", id, code, raw)
+		}
+		typ, payload, rest, serr := wire.SplitFrame(raw)
+		if serr != nil || typ != wire.TypeJob {
+			t.Fatalf("bin job %s: frame type %#x err %v", id, typ, serr)
+		}
+		j, err := wire.DecodeJob(payload)
+		if err != nil {
+			t.Fatalf("decode bin job %s: %v", id, err)
+		}
+		if j.Status == StatusDone {
+			// Done polls deliver the result as a trailing frame.
+			splitOne(t, rest, wire.TypeResult)
+			return j
+		}
+		if len(rest) != 0 {
+			t.Fatalf("in-flight job %s poll carried %d trailing bytes", id, len(rest))
+		}
+		if j.Status == StatusFailed || j.Status == StatusCancelled || j.Status == StatusPoisoned {
+			t.Fatalf("job %s reached %q (error %q) while waiting for done", id, j.Status, j.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, j.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// smallSimRequest is the binary twin of the smallSim JSON body.
+func smallSimRequest() Request {
+	return Request{Config: &neofog.SimulationConfig{Nodes: 4, Rounds: 40, Seed: 7}}
+}
+
+// TestBinCrossTransport proves the two transports are one job store: a
+// JSON submission's result, refetched over the binary surface, is
+// byte-identical, and an identical binary submission lands on the JSON
+// job as a cache hit instead of recomputing.
+func TestBinCrossTransport(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+
+	code, sub := postJob(t, ts, smallSim)
+	if code != http.StatusAccepted {
+		t.Fatalf("JSON submit: status %d, want 202", code)
+	}
+	waitStatus(t, ts, sub.Job.ID, StatusDone)
+	code, jsonResult := getBody(t, ts, "/v1/jobs/"+sub.Job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("JSON result: status %d", code)
+	}
+
+	code, raw := postWire(t, ts, "/v1/bin/submit", frameRequest(t, smallSimRequest()))
+	if code != http.StatusOK {
+		t.Fatalf("binary resubmit: status %d body %x, want 200 cache hit", code, raw)
+	}
+	got, inline := splitCachedSubmit(t, raw)
+	if !got.Cached || got.Deduped {
+		t.Fatalf("binary resubmit cached=%v deduped=%v, want cached only", got.Cached, got.Deduped)
+	}
+	if got.Job.ID != sub.Job.ID {
+		t.Fatalf("binary submit job %s, JSON submit job %s — transports disagree on the key", got.Job.ID, sub.Job.ID)
+	}
+	if got.Job.Result != nil {
+		t.Fatalf("binary submit frame carried %d result bytes; snapshots must travel stripped", len(got.Job.Result))
+	}
+	if want := bytes.TrimSuffix(jsonResult, []byte("\n")); !bytes.Equal(inline, want) {
+		t.Fatalf("inline cached result differs from JSON result:\n bin %s\njson %s", inline, want)
+	}
+
+	code, raw = getBody(t, ts, "/v1/bin/jobs/"+sub.Job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("binary result: status %d", code)
+	}
+	binResult := splitOne(t, raw, wire.TypeResult)
+	if want := bytes.TrimSuffix(jsonResult, []byte("\n")); !bytes.Equal(binResult, want) {
+		t.Fatalf("binary result differs from JSON result:\n bin %s\njson %s", binResult, want)
+	}
+	if got := srv.metrics.counter("cache_hits_total"); got != 1 {
+		t.Fatalf("cache_hits_total = %d, want 1", got)
+	}
+	if got := srv.metrics.counter("jobs_executed_total"); got != 1 {
+		t.Fatalf("jobs_executed_total = %d, want 1 (binary resubmit must not recompute)", got)
+	}
+	if got := srv.metrics.counter("bin_requests_total"); got == 0 {
+		t.Fatalf("bin_requests_total = 0 after binary traffic")
+	}
+}
+
+// TestBinSubmitLifecycle drives a job end to end entirely over the
+// binary surface: fresh 202, poll to done, cached 200 on resubmit.
+func TestBinSubmitLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	frame := frameRequest(t, Request{Config: &neofog.SimulationConfig{Nodes: 3, Rounds: 30, Seed: 11}})
+
+	code, raw := postWire(t, ts, "/v1/bin/submit", frame)
+	if code != http.StatusAccepted {
+		t.Fatalf("fresh binary submit: status %d, want 202", code)
+	}
+	first, err := wire.DecodeSubmit(splitOne(t, raw, wire.TypeSubmit))
+	if err != nil {
+		t.Fatalf("decode submit frame: %v", err)
+	}
+	if first.Cached || first.Deduped {
+		t.Fatalf("fresh submit reported cached=%v deduped=%v", first.Cached, first.Deduped)
+	}
+	binWaitDone(t, ts, first.Job.ID)
+
+	code, raw = postWire(t, ts, "/v1/bin/submit", frame)
+	if code != http.StatusOK {
+		t.Fatalf("binary resubmit: status %d, want 200", code)
+	}
+	second, inline := splitCachedSubmit(t, raw)
+	if !second.Cached || second.Job.ID != first.Job.ID {
+		t.Fatalf("resubmit cached=%v id=%s, want cached hit on %s", second.Cached, second.Job.ID, first.Job.ID)
+	}
+	if len(inline) == 0 {
+		t.Fatal("cached resubmit carried no inline result frame")
+	}
+}
+
+// TestBinSubmitBadFrames exercises the binary endpoint's error paths:
+// every rejection must itself be a decodable TypeError frame.
+func TestBinSubmitBadFrames(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	good := frameRequest(t, smallSimRequest())
+
+	wrongType := func() []byte {
+		e := wire.NewEncoder()
+		defer e.Release()
+		return bytes.Clone(e.ErrorFrame(wire.Error{Code: 1, Message: "not a request"}))
+	}()
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"garbage", []byte("not a frame at all")},
+		{"empty", nil},
+		{"wrong type", wrongType},
+		{"two frames", append(bytes.Clone(good), good...)},
+		{"truncated", good[:len(good)-3]},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := postWire(t, ts, "/v1/bin/submit", tc.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", code)
+			}
+			e, err := wire.DecodeError(splitOne(t, raw, wire.TypeError))
+			if err != nil {
+				t.Fatalf("error response is not a decodable error frame: %v", err)
+			}
+			if e.Code != http.StatusBadRequest || e.Message == "" {
+				t.Fatalf("error frame code=%d message=%q", e.Code, e.Message)
+			}
+		})
+	}
+}
+
+// TestContentTypeNegotiation pins the 415 behavior on every POST
+// surface: a declared Content-Type naming the wrong format is rejected
+// up front, while an absent one (curl without -H) still passes.
+func TestContentTypeNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	binBody := frameRequest(t, smallSimRequest())
+
+	post := func(t *testing.T, path, ct string, body []byte) (int, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("NewRequest: %v", err)
+		}
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	cases := []struct {
+		name string
+		path string
+		ct   string
+		body []byte
+		want int
+	}{
+		{"jobs wire ct", "/v1/jobs", wire.ContentType, []byte(smallSim), http.StatusUnsupportedMediaType},
+		{"jobs form ct", "/v1/jobs", "application/x-www-form-urlencoded", []byte(smallSim), http.StatusUnsupportedMediaType},
+		{"jobs garbage ct", "/v1/jobs", ";;;", []byte(smallSim), http.StatusUnsupportedMediaType},
+		{"jobs no ct", "/v1/jobs", "", []byte(smallSim), http.StatusAccepted},
+		{"jobs json with params", "/v1/jobs", "application/json; charset=utf-8",
+			[]byte(`{"config":{"nodes":4,"rounds":40,"seed":8}}`), http.StatusAccepted},
+		{"bin json ct", "/v1/bin/submit", "application/json", binBody, http.StatusUnsupportedMediaType},
+		{"bin no ct", "/v1/bin/submit", "", binBody, http.StatusOK}, // cache hit: same key as "jobs no ct"
+		{"matrix text ct", "/v1/experiments/matrix", "text/plain", []byte("{}"), http.StatusUnsupportedMediaType},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, raw := post(t, tc.path, tc.ct, tc.body)
+			if code == http.StatusAccepted && tc.want == http.StatusOK {
+				// Ordering slack: the seeding submit may still be running.
+				var sub SubmitResponse
+				if err := json.Unmarshal(raw, &sub); err == nil {
+					waitStatus(t, ts, sub.Job.ID, StatusDone)
+				}
+				code = http.StatusOK
+			}
+			if code != tc.want {
+				t.Fatalf("POST %s with Content-Type %q: status %d body %q, want %d", tc.path, tc.ct, code, raw, tc.want)
+			}
+			if tc.want == http.StatusUnsupportedMediaType && strings.HasPrefix(tc.path, "/v1/bin/") {
+				e, err := wire.DecodeError(splitOne(t, raw, wire.TypeError))
+				if err != nil || e.Code != http.StatusUnsupportedMediaType {
+					t.Fatalf("binary 415 must be a TypeError frame (err %v, frame %+v)", err, e)
+				}
+			}
+		})
+	}
+}
+
+// testMatrix is a full 3×3×3 sweep: every system, every weather, three
+// solar intensities (0 = regime default).
+func testMatrix() MatrixRequest {
+	return MatrixRequest{
+		Systems:     []string{string(neofog.SystemVP), string(neofog.SystemNVP), string(neofog.SystemNEOFog)},
+		Weathers:    []string{string(neofog.WeatherSunny), string(neofog.WeatherOvercast), string(neofog.WeatherRainy)},
+		Intensities: []float64{0, 60, 120},
+		Nodes:       3,
+		Rounds:      10,
+		Seed:        5,
+		Parallel:    4,
+	}
+}
+
+// checkMatrixCells validates one complete stream: every index exactly
+// once, descriptors matching the sweep axes, every job done.
+func checkMatrixCells(t *testing.T, m MatrixRequest, cells []MatrixCell, done MatrixDone, wantCached bool) {
+	t.Helper()
+	total := len(m.Systems) * len(m.Weathers) * len(m.Intensities)
+	if len(cells) != total {
+		t.Fatalf("streamed %d cells, want %d", len(cells), total)
+	}
+	if done.Done != total || done.Failed != 0 {
+		t.Fatalf("done tally %+v, want %d/0", done, total)
+	}
+	seen := make(map[int]bool)
+	for _, c := range cells {
+		if seen[c.Index] {
+			t.Fatalf("cell index %d streamed twice", c.Index)
+		}
+		seen[c.Index] = true
+		if c.Error != "" || c.Job.Status != StatusDone {
+			t.Fatalf("cell %d: error %q status %q", c.Index, c.Error, c.Job.Status)
+		}
+		if c.Job.Result != nil {
+			t.Fatalf("cell %d carried %d result bytes; matrix cells must travel stripped", c.Index, len(c.Job.Result))
+		}
+		ni := len(m.Intensities)
+		wantSys := m.Systems[c.Index/(len(m.Weathers)*ni)]
+		wantWth := m.Weathers[(c.Index/ni)%len(m.Weathers)]
+		wantInt := m.Intensities[c.Index%ni]
+		if c.System != wantSys || c.Weather != wantWth || c.Intensity != wantInt {
+			t.Fatalf("cell %d descriptors %s/%s/%g, want %s/%s/%g",
+				c.Index, c.System, c.Weather, c.Intensity, wantSys, wantWth, wantInt)
+		}
+		if wantCached && !c.Cached {
+			t.Fatalf("cell %d not served from cache on the second sweep", c.Index)
+		}
+	}
+}
+
+// TestMatrixJSON streams a 3×3×3 sweep as ndjson, checks every cell
+// completes, then re-runs the identical matrix and requires every cell
+// to be a cache hit — the batch endpoint shares the job store.
+func TestMatrixJSON(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	m := testMatrix()
+	body, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal matrix: %v", err)
+	}
+
+	run := func(wantCached bool) []MatrixCell {
+		resp, err := http.Post(ts.URL+"/v1/experiments/matrix", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST matrix: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("matrix: status %d body %s", resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != matrixContentType {
+			t.Fatalf("matrix Content-Type %q, want %s", ct, matrixContentType)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		if !sc.Scan() {
+			t.Fatalf("stream ended before the header line: %v", sc.Err())
+		}
+		var header MatrixHeader
+		if err := json.Unmarshal(sc.Bytes(), &header); err != nil {
+			t.Fatalf("decode header line %q: %v", sc.Bytes(), err)
+		}
+		if header.Cells != 27 || len(header.Key) != 64 {
+			t.Fatalf("header %+v, want 27 cells and a 64-hex key", header)
+		}
+		var cells []MatrixCell
+		var done MatrixDone
+		for sc.Scan() {
+			if len(cells) < header.Cells {
+				var c MatrixCell
+				if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+					t.Fatalf("decode cell line %q: %v", sc.Bytes(), err)
+				}
+				cells = append(cells, c)
+				continue
+			}
+			if err := json.Unmarshal(sc.Bytes(), &done); err != nil {
+				t.Fatalf("decode done line %q: %v", sc.Bytes(), err)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatalf("scan stream: %v", err)
+		}
+		checkMatrixCells(t, m, cells, done, wantCached)
+		return cells
+	}
+
+	cells := run(false)
+	if got := srv.metrics.counter("jobs_executed_total"); got != 27 {
+		t.Fatalf("jobs_executed_total = %d after first sweep, want 27", got)
+	}
+	run(true)
+	if got := srv.metrics.counter("jobs_executed_total"); got != 27 {
+		t.Fatalf("jobs_executed_total = %d after cached sweep, want still 27", got)
+	}
+
+	// Each cell's result stays addressable by its job ID on both surfaces.
+	code, jsonBody := getBody(t, ts, "/v1/jobs/"+cells[0].Job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("cell result over JSON: status %d", code)
+	}
+	code, raw := getBody(t, ts, "/v1/bin/jobs/"+cells[0].Job.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("cell result over binary: status %d", code)
+	}
+	if got := splitOne(t, raw, wire.TypeResult); !bytes.Equal(got, bytes.TrimSuffix(jsonBody, []byte("\n"))) {
+		t.Fatalf("cell result differs between transports")
+	}
+}
+
+// TestMatrixBinary runs the same sweep over the wire flavor and checks
+// the frame stream shape: header, 27 cells, done, clean EOF — and that
+// the matrix key matches MatrixCells, which the router depends on.
+func TestMatrixBinary(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	m := testMatrix()
+	frame := func() []byte {
+		e := wire.NewEncoder()
+		defer e.Release()
+		return bytes.Clone(e.MatrixRequestFrame(m))
+	}()
+	_, _, wantKey, err := MatrixCells(m)
+	if err != nil {
+		t.Fatalf("MatrixCells: %v", err)
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/experiments/matrix", wire.ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatalf("POST matrix: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("matrix: status %d body %x", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != wire.ContentType {
+		t.Fatalf("matrix Content-Type %q, want %s", ct, wire.ContentType)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.TypeMatrixHeader {
+		t.Fatalf("first frame type %#x err %v, want matrix header", typ, err)
+	}
+	header, err := wire.DecodeMatrixHeader(payload)
+	if err != nil {
+		t.Fatalf("decode header: %v", err)
+	}
+	if header.Cells != 27 || header.Key != wantKey {
+		t.Fatalf("header %+v, want 27 cells with key %s", header, wantKey)
+	}
+	var cells []MatrixCell
+	var done MatrixDone
+	sawDone := false
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("read frame: %v", err)
+		}
+		switch typ {
+		case wire.TypeMatrixCell:
+			c, err := wire.DecodeMatrixCell(payload)
+			if err != nil {
+				t.Fatalf("decode cell: %v", err)
+			}
+			cells = append(cells, c)
+		case wire.TypeMatrixDone:
+			if done, err = wire.DecodeMatrixDone(payload); err != nil {
+				t.Fatalf("decode done: %v", err)
+			}
+			sawDone = true
+		default:
+			t.Fatalf("unexpected frame type %#x mid-stream", typ)
+		}
+	}
+	if !sawDone {
+		t.Fatalf("stream ended without a done frame")
+	}
+	checkMatrixCells(t, m, cells, done, false)
+}
+
+// TestMatrixValidation pins the 400 paths: empty axes, an unbounded
+// fan-out, and a weather the simulator rejects.
+func TestMatrixValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		m    MatrixRequest
+	}{
+		{"no systems", MatrixRequest{Weathers: []string{"sunny"}, Intensities: []float64{0}}},
+		{"too many cells", MatrixRequest{
+			Systems:     []string{"neofog"},
+			Weathers:    []string{"sunny"},
+			Intensities: make([]float64, maxMatrixCells+1),
+		}},
+		{"bad weather", MatrixRequest{
+			Systems:     []string{"neofog"},
+			Weathers:    []string{"hail"},
+			Intensities: []float64{0},
+			Nodes:       3, Rounds: 10,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body, err := json.Marshal(tc.m)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/experiments/matrix", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatalf("POST matrix: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				raw, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d body %s, want 400", resp.StatusCode, raw)
+			}
+		})
+	}
+}
+
+// TestMatrixSharesJobs proves cross-transport single-flight at the batch
+// level: jobs seeded by a plain JSON submission serve matrix cells from
+// cache, and the metrics agree.
+func TestMatrixSharesJobs(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	// Seed one cell's exact job through the single-submit path.
+	seed := fmt.Sprintf(`{"config":{"system":"neofog","weather":"sunny","nodes":3,"rounds":10,"seed":5}}`)
+	code, sub := postJob(t, ts, seed)
+	if code != http.StatusAccepted {
+		t.Fatalf("seed submit: status %d", code)
+	}
+	waitStatus(t, ts, sub.Job.ID, StatusDone)
+
+	m := MatrixRequest{
+		Systems:     []string{string(neofog.SystemNEOFog)},
+		Weathers:    []string{string(neofog.WeatherSunny)},
+		Intensities: []float64{0},
+		Nodes:       3, Rounds: 10, Seed: 5,
+	}
+	body, _ := json.Marshal(m)
+	resp, err := http.Post(ts.URL+"/v1/experiments/matrix", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST matrix: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	lines := bytes.Split(bytes.TrimSuffix(raw, []byte("\n")), []byte("\n"))
+	if len(lines) != 3 {
+		t.Fatalf("stream has %d lines, want header+cell+done: %s", len(lines), raw)
+	}
+	var cell MatrixCell
+	if err := json.Unmarshal(lines[1], &cell); err != nil {
+		t.Fatalf("decode cell: %v", err)
+	}
+	if !cell.Cached || cell.Job.ID != sub.Job.ID {
+		t.Fatalf("cell cached=%v id=%s, want cache hit on seeded job %s", cell.Cached, cell.Job.ID, sub.Job.ID)
+	}
+	if got := srv.metrics.counter("jobs_executed_total"); got != 1 {
+		t.Fatalf("jobs_executed_total = %d, want 1 (matrix must reuse the seeded run)", got)
+	}
+	if got := srv.metrics.counter("matrix_cells_total"); got != 1 {
+		t.Fatalf("matrix_cells_total = %d, want 1", got)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"mime"
 	"net/http"
 	"strconv"
 	"time"
@@ -28,7 +29,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/bin/submit", s.handleBinSubmit)
+	mux.HandleFunc("GET /v1/bin/jobs/{id}", s.handleBinJob)
+	mux.HandleFunc("GET /v1/bin/jobs/{id}/result", s.handleBinResult)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/experiments/matrix", s.handleMatrix)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -103,7 +108,33 @@ func setRetryAfter(w http.ResponseWriter, d time.Duration) {
 	w.Header().Set("Retry-After", strconv.FormatInt(ceilSeconds(d), 10))
 }
 
+// negotiateContentType reports whether the request's declared media
+// type is one of want, returning the parsed type for error messages. An
+// absent Content-Type passes — the body decoder is the arbiter then —
+// but a declared type that names a different format is rejected up
+// front (415) instead of surfacing as a confusing late decode error.
+func negotiateContentType(r *http.Request, want ...string) (string, bool) {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return "", true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return ct, false
+	}
+	for _, w := range want {
+		if mt == w {
+			return mt, true
+		}
+	}
+	return mt, false
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if mt, ok := negotiateContentType(r, "application/json"); !ok {
+		writeError(w, http.StatusUnsupportedMediaType, "unsupported Content-Type %q (want application/json)", mt)
+		return
+	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {

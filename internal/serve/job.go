@@ -11,51 +11,40 @@ import (
 	"time"
 
 	"neofog"
+	"neofog/internal/wire"
+)
+
+// The API's record types (Request, Job, SubmitResponse, the matrix
+// records) are defined in internal/wire next to their binary codecs and
+// aliased here, so both transports — JSON and binary — serialize the
+// same structs and can never drift. The aliases keep this package's
+// public API unchanged.
+type (
+	// Request is the submission envelope; see wire.Request.
+	Request = wire.Request
+	// ExperimentOptions tunes experiment jobs; see wire.ExperimentOptions.
+	ExperimentOptions = wire.ExperimentOptions
+	// Job is the public snapshot of one submission; see wire.Job.
+	Job = wire.Job
+	// SubmitResponse is the POST /v1/jobs body; see wire.SubmitResponse.
+	SubmitResponse = wire.SubmitResponse
+	// MatrixRequest is the POST /v1/experiments/matrix body; see
+	// wire.MatrixRequest.
+	MatrixRequest = wire.MatrixRequest
+	// MatrixHeader opens a matrix stream; see wire.MatrixHeader.
+	MatrixHeader = wire.MatrixHeader
+	// MatrixCell reports one completed matrix cell; see wire.MatrixCell.
+	MatrixCell = wire.MatrixCell
+	// MatrixDone terminates a matrix stream; see wire.MatrixDone.
+	MatrixDone = wire.MatrixDone
 )
 
 // Request kinds.
 const (
-	KindSimulate   = "simulate"
-	KindFleet      = "fleet"
-	KindExperiment = "experiment"
+	KindSimulate   = wire.KindSimulate
+	KindFleet      = wire.KindFleet
+	KindExperiment = wire.KindExperiment
 )
-
-// Request is the submission envelope. Exactly one payload applies per
-// kind: Config for "simulate" and "fleet" (with Chains), Experiment plus
-// Options for "experiment". An empty Kind means "simulate", and an empty
-// Config means the facade's default deployment.
-type Request struct {
-	// Kind selects the facade entry point: simulate (default), fleet, or
-	// experiment.
-	Kind string `json:"kind,omitempty"`
-	// Config is the deployment for simulate and fleet jobs; nil means
-	// all defaults. Observer fields (Journal, Telemetry) are not part of
-	// the wire format.
-	Config *neofog.SimulationConfig `json:"config,omitempty"`
-	// Chains is the fleet width (fleet jobs only, ≥ 1).
-	Chains int `json:"chains,omitempty"`
-	// Experiment is the artifact ID for experiment jobs (see
-	// GET /v1/experiments; any `-exp` ID is servable).
-	Experiment string `json:"experiment,omitempty"`
-	// Options tunes experiment jobs.
-	Options *ExperimentOptions `json:"options,omitempty"`
-	// Format is the experiment output encoding: "table" (default) or
-	// "csv".
-	Format string `json:"format,omitempty"`
-}
-
-// ExperimentOptions is the wire form of neofog.ExperimentOptions.
-type ExperimentOptions struct {
-	Seed             int64     `json:"seed,omitempty"`
-	Nodes            int       `json:"nodes,omitempty"`
-	Rounds           int       `json:"rounds,omitempty"`
-	FaultSeed        int64     `json:"fault_seed,omitempty"`
-	FaultIntensities []float64 `json:"fault_intensities,omitempty"`
-	// Parallel is the sweep pool width. It is deliberately excluded from
-	// the cache key: sweeps are proven byte-identical at every width, so
-	// two requests differing only in Parallel are the same job.
-	Parallel int `json:"parallel,omitempty"`
-}
 
 // canonicalRequest is the hashed form of a normalized Request: fixed
 // field order, defaults filled, simulation config replaced by its
@@ -211,37 +200,13 @@ func JobID(key string) string { return jobID(key) }
 // queue. Poisoned means the run panicked and the key is quarantined —
 // resubmitting retries it until the quarantine cap, then rejects.
 const (
-	StatusQueued    = "queued"
-	StatusRunning   = "running"
-	StatusDone      = "done"
-	StatusFailed    = "failed"
-	StatusCancelled = "cancelled"
-	StatusPoisoned  = "poisoned"
+	StatusQueued    = wire.StatusQueued
+	StatusRunning   = wire.StatusRunning
+	StatusDone      = wire.StatusDone
+	StatusFailed    = wire.StatusFailed
+	StatusCancelled = wire.StatusCancelled
+	StatusPoisoned  = wire.StatusPoisoned
 )
-
-// Job is the public snapshot of one submission, as served by the API.
-type Job struct {
-	ID          string     `json:"id"`
-	Key         string     `json:"key"`
-	Kind        string     `json:"kind"`
-	Status      string     `json:"status"`
-	SubmittedAt time.Time  `json:"submitted_at"`
-	StartedAt   *time.Time `json:"started_at,omitempty"`
-	FinishedAt  *time.Time `json:"finished_at,omitempty"`
-	// Deadline is the absolute point by which the job must finish, when
-	// the submission carried one; past it the job is cancelled (queued or
-	// running) rather than left to run.
-	Deadline *time.Time `json:"deadline,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	// Result is the cached result body (present once Status is done).
-	// Cached and freshly computed responses are byte-identical: the body
-	// is marshaled once, when the run finishes, and served verbatim ever
-	// after.
-	Result json.RawMessage `json:"result,omitempty"`
-	// Hits counts submissions served by this job beyond the first — the
-	// cache and single-flight reuse of its run.
-	Hits int64 `json:"hits,omitempty"`
-}
 
 // job is the server-side state behind a Job snapshot. All fields are
 // guarded by the server's mutex except the broadcaster (which has its
@@ -326,17 +291,6 @@ func (j *job) terminal() bool {
 		return true
 	}
 	return false
-}
-
-// SubmitResponse is the POST /v1/jobs body.
-type SubmitResponse struct {
-	Job Job `json:"job"`
-	// Cached reports that this submission was answered entirely from the
-	// result cache (no new run).
-	Cached bool `json:"cached"`
-	// Deduped reports that this submission attached to an identical job
-	// already queued or running (single-flight).
-	Deduped bool `json:"deduped,omitempty"`
 }
 
 // experimentResult is the result body of experiment jobs.

@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"neofog"
+	"neofog/internal/wire"
+)
+
+// This file is the batch matrix endpoint: POST /v1/experiments/matrix
+// takes an experiment matrix (systems × weathers × solar intensities),
+// fans it out into one content-addressed simulate job per cell, and
+// streams per-cell completions back over the one connection. Cells go
+// through exactly the same submit critical section as single
+// submissions, so a cell that matches a cached or in-flight job — from
+// either transport, or from another matrix — reuses it instead of
+// recomputing. The response streams in the request's flavor: ndjson for
+// JSON requests, wire frames for binary ones.
+
+// matrixContentType is the JSON flavor's streaming response media type.
+const matrixContentType = "application/x-ndjson"
+
+// maxMatrixCells bounds one batch: big enough for any plausible sweep,
+// small enough that a hostile request cannot fan out without bound.
+const maxMatrixCells = 4096
+
+// MatrixCells expands a matrix request into its normalized per-cell
+// simulate requests and their canonical keys, plus the matrix key — a
+// SHA-256 over the cell keys that gives the whole batch one routing
+// identity. Cell order is deterministic: systems outermost, then
+// weathers, then intensities. Exported for the router, which must
+// derive the same routing key a shard would.
+func MatrixCells(m MatrixRequest) ([]Request, []string, string, error) {
+	if len(m.Systems) == 0 || len(m.Weathers) == 0 || len(m.Intensities) == 0 {
+		return nil, nil, "", fmt.Errorf("matrix needs at least one system, one weather, and one intensity")
+	}
+	total := len(m.Systems) * len(m.Weathers) * len(m.Intensities)
+	if total > maxMatrixCells {
+		return nil, nil, "", fmt.Errorf("matrix of %d cells exceeds the %d-cell bound", total, maxMatrixCells)
+	}
+	cells := make([]Request, 0, total)
+	keys := make([]string, 0, total)
+	h := sha256.New()
+	for _, sys := range m.Systems {
+		for _, wth := range m.Weathers {
+			for _, mw := range m.Intensities {
+				req := Request{
+					Kind: KindSimulate,
+					Config: &neofog.SimulationConfig{
+						System:              neofog.System(sys),
+						Weather:             neofog.Weather(wth),
+						SolarPeakMilliwatts: mw,
+						Nodes:               m.Nodes,
+						Rounds:              m.Rounds,
+						Seed:                m.Seed,
+						Multiplexing:        m.Multiplexing,
+						Recovery:            m.Recovery,
+					},
+				}
+				norm, key, err := normalizeRequest(req)
+				if err != nil {
+					return nil, nil, "", fmt.Errorf("cell %d (%s/%s/%g mW): %v", len(cells), sys, wth, mw, err)
+				}
+				cells = append(cells, norm)
+				keys = append(keys, key)
+				io.WriteString(h, key)
+			}
+		}
+	}
+	return cells, keys, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// handleMatrix is POST /v1/experiments/matrix in both flavors. The
+// request's Content-Type picks the codec for both directions: JSON in →
+// ndjson stream out (one MatrixHeader line, MatrixCell lines in
+// completion order, one MatrixDone line); wire in → the same records as
+// frames.
+func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
+	mt, ok := negotiateContentType(r, "application/json", wire.ContentType)
+	if !ok {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"unsupported Content-Type %q (want application/json or %s)", mt, wire.ContentType)
+		return
+	}
+	binary := mt == wire.ContentType
+	fail := func(status int, format string, args ...any) {
+		if binary {
+			writeWireError(w, status, format, args...)
+		} else {
+			writeError(w, status, format, args...)
+		}
+	}
+	s.metrics.inc("matrix_requests_total", 1)
+
+	var m MatrixRequest
+	if binary {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			fail(http.StatusBadRequest, "reading request body: %v", err)
+			return
+		}
+		typ, payload, rest, err := wire.SplitFrame(body)
+		if err != nil {
+			fail(http.StatusBadRequest, "bad frame: %v", err)
+			return
+		}
+		if typ != wire.TypeMatrixRequest || len(rest) != 0 {
+			fail(http.StatusBadRequest, "want exactly one matrix request frame (type %#x)", wire.TypeMatrixRequest)
+			return
+		}
+		if m, err = wire.DecodeMatrixRequest(payload); err != nil {
+			fail(http.StatusBadRequest, "bad matrix request frame: %v", err)
+			return
+		}
+	} else {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err := dec.Decode(&m); err != nil {
+			fail(http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+	deadline, err := s.parseDeadline(r)
+	if err != nil {
+		fail(http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells, keys, matrixKey, err := MatrixCells(m)
+	if err != nil {
+		fail(http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.inc("matrix_cells_total", int64(len(cells)))
+
+	parallel := m.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(cells) {
+		parallel = len(cells)
+	}
+
+	// The stream can outlive any sane write timeout; lift the server-wide
+	// write deadline for this response only, like the SSE endpoint does.
+	http.NewResponseController(w).SetWriteDeadline(time.Time{})
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := wire.NewEncoder() // written only by this handler goroutine
+	defer enc.Release()
+	if binary {
+		w.Header().Set("Content-Type", wire.ContentType)
+	} else {
+		w.Header().Set("Content-Type", matrixContentType)
+	}
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	header := MatrixHeader{Cells: len(cells), Key: matrixKey}
+	if binary {
+		w.Write(enc.MatrixHeaderFrame(header))
+	} else {
+		writeNDJSON(w, header)
+	}
+	flush()
+
+	// Bounded fan-out, same semantics as experiments.Options.Parallel: a
+	// fixed pool of cell runners fed by index, results streamed to the
+	// client in completion order. The feeder stops on client disconnect;
+	// runners always finish their in-flight cell, so the results channel
+	// always drains and closes.
+	ctx := r.Context()
+	idx := make(chan int)
+	results := make(chan MatrixCell)
+	var wg sync.WaitGroup
+	for range parallel {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results <- s.runMatrixCell(ctx, i, cells[i], keys[i], m, deadline)
+			}
+		}()
+	}
+	go func() {
+		defer close(idx)
+		for i := range cells {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var tally MatrixDone
+	for cell := range results {
+		if cell.Error == "" && cell.Job.Status == StatusDone {
+			tally.Done++
+		} else {
+			tally.Failed++
+		}
+		if binary {
+			w.Write(enc.MatrixCellFrame(cell))
+		} else {
+			writeNDJSON(w, cell)
+		}
+		flush()
+	}
+	if binary {
+		w.Write(enc.MatrixDoneFrame(tally))
+	} else {
+		writeNDJSON(w, tally)
+	}
+	flush()
+}
+
+// writeNDJSON writes one record as a JSON line.
+func writeNDJSON(w io.Writer, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// runMatrixCell drives one cell to a terminal snapshot: submit (through
+// the shared single-flight critical section), wait for completion, and
+// report. A full queue is backpressure from this very batch — earlier
+// cells drain it — so the cell waits briefly and resubmits, bounded by
+// the request context. Cell snapshots travel without result bodies on
+// both flavors; results are fetched per job, once, by key-stable ID.
+func (s *Server) runMatrixCell(ctx context.Context, index int, req Request, key string, m MatrixRequest, deadline time.Duration) MatrixCell {
+	ni := len(m.Intensities)
+	cell := MatrixCell{
+		Index:     index,
+		System:    m.Systems[index/(len(m.Weathers)*ni)],
+		Weather:   m.Weathers[(index/ni)%len(m.Weathers)],
+		Intensity: m.Intensities[index%ni],
+	}
+	for {
+		j, snap, outcome, retryAfter := s.submitTracked(req, key, deadline)
+		switch outcome {
+		case outcomeCached:
+			cell.Cached = true
+			cell.Job = stripResult(snap)
+			return cell
+		case outcomeDraining:
+			cell.Error = "draining: not accepting new jobs"
+			return cell
+		case outcomePoisoned:
+			cell.Error = fmt.Sprintf("job key quarantined after repeated panics; retry after %ds", ceilSeconds(retryAfter))
+			cell.Job = stripResult(snap)
+			return cell
+		case outcomeDeadline:
+			// The predicted queue wait already exceeds the per-cell
+			// deadline; waiting longer can only make it worse.
+			cell.Error = fmt.Sprintf("deadline %s shorter than predicted queue wait %s", deadline, retryAfter.Round(time.Millisecond))
+			return cell
+		case outcomeQueueFull:
+			wait := retryAfter
+			if wait <= 0 || wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				cell.Error = "matrix request cancelled while waiting for queue space"
+				return cell
+			case <-time.After(wait):
+			}
+			continue
+		}
+		if outcome == outcomeDeduped {
+			cell.Deduped = true
+		}
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			// The client hung up; the job keeps running server-side and its
+			// result stays addressable by key.
+			cell.Error = "matrix request cancelled before the cell finished"
+			cell.Job = stripResult(snap)
+			return cell
+		}
+		final, ok := s.snapshotByID(snap.ID)
+		if !ok {
+			cell.Error = "job evicted before its result was read"
+			return cell
+		}
+		if final.Status != StatusDone {
+			cell.Error = final.Error
+			if cell.Error == "" {
+				cell.Error = "job " + final.Status
+			}
+		}
+		cell.Job = stripResult(final)
+		return cell
+	}
+}

@@ -95,6 +95,7 @@ func (m *metricsRegistry) meanJobSeconds() float64 {
 // counterHelp documents the exported counters; keep in sorted name order
 // with the writer below.
 var counterHelp = map[string]string{
+	"bin_requests_total":             "Requests served over the binary wire transport.",
 	"breaker_probes_total":           "Half-open probes attempted against a tripped disk tier.",
 	"breaker_recoveries_total":       "Times a successful probe closed the disk breaker and write-through resumed.",
 	"breaker_skipped_total":          "Disk-tier operations skipped outright because the breaker was open.",
@@ -112,6 +113,8 @@ var counterHelp = map[string]string{
 	"jobs_failed_total":              "Jobs that ended in an error.",
 	"jobs_poisoned_total":            "Runs that panicked; the key was quarantined.",
 	"jobs_submitted_total":           "Submissions accepted (including cache and dedup hits).",
+	"matrix_cells_total":             "Matrix cells fanned out into content-addressed jobs.",
+	"matrix_requests_total":          "Batch matrix submissions accepted (either flavor).",
 	"submit_rejected_deadline_total": "Submissions rejected with 429 because the predicted queue wait exceeded the deadline.",
 	"submit_rejected_draining_total": "Submissions rejected with 503 during drain.",
 	"submit_rejected_full_total":     "Submissions rejected with 429 because the queue was full.",

@@ -222,12 +222,21 @@ const (
 // client's time budget (0 = none); the retryAfter return, when positive,
 // is the server's hint for when a rejected submission is worth retrying.
 func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, submitOutcome, time.Duration) {
+	_, snap, outcome, retryAfter := s.submitTracked(req, key, deadline)
+	return snap, outcome, retryAfter
+}
+
+// submitTracked is submit returning the internal job as well, for
+// callers that must wait on its completion channel (the matrix fan-out
+// holds the returned *job and selects on job.done). The pointer is nil
+// on every rejection outcome.
+func (s *Server) submitTracked(req Request, key string, deadline time.Duration) (*job, Job, submitOutcome, time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	if s.draining {
 		s.metrics.inc("submit_rejected_draining_total", 1)
-		return Job{}, outcomeDraining, 0
+		return nil, Job{}, outcomeDraining, 0
 	}
 	s.metrics.inc("jobs_submitted_total", 1)
 	now := s.cfg.Clock()
@@ -244,7 +253,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 			if j, ok := s.byKey[key]; ok {
 				snap = j.snapshot()
 			}
-			return snap, outcomePoisoned, rec.until.Sub(now)
+			return nil, snap, outcomePoisoned, rec.until.Sub(now)
 		}
 	}
 
@@ -260,7 +269,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 				}
 				j.hits++
 				s.metrics.inc("cache_hits_total", 1)
-				return j.snapshot(), outcomeCached, 0
+				return j, j.snapshot(), outcomeCached, 0
 			}
 			// The persisted result failed verification and was discarded
 			// (promoteLocked already removed the job): recompute under the
@@ -268,7 +277,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 		case !j.terminal():
 			j.hits++
 			s.metrics.inc("dedup_hits_total", 1)
-			return j.snapshot(), outcomeDeduped, 0
+			return j, j.snapshot(), outcomeDeduped, 0
 		}
 		// failed, cancelled, or poisoned-below-cap: fall through and retry
 		// with a fresh run, reusing the key's slot (and so its
@@ -281,7 +290,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 	wait := s.predictedWaitLocked()
 	if deadline > 0 && wait > deadline {
 		s.metrics.inc("submit_rejected_deadline_total", 1)
-		return Job{}, outcomeDeadline, wait
+		return nil, Job{}, outcomeDeadline, wait
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -308,7 +317,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 	default:
 		cancel()
 		s.metrics.inc("submit_rejected_full_total", 1)
-		return Job{}, outcomeQueueFull, wait
+		return nil, Job{}, outcomeQueueFull, wait
 	}
 	if _, existed := s.byKey[key]; !existed {
 		s.order = append(s.order, key)
@@ -316,7 +325,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 	s.byKey[key] = j
 	s.metrics.inc("cache_misses_total", 1)
 	s.evictLocked()
-	return j.snapshot(), outcomeNew, 0
+	return j, j.snapshot(), outcomeNew, 0
 }
 
 // predictedWaitLocked estimates how long a job enqueued now would wait

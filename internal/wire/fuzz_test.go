@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireCodec holds the codec to its two load-bearing promises on
+// arbitrary input:
+//
+//  1. No panics: malformed, truncated, and bit-flipped frames are
+//     rejected with an error, never a crash or an unbounded allocation.
+//  2. Fixed point: any frame the decoder fully accepts re-encodes to
+//     exactly the same bytes. Together with the frame CRC this is what
+//     rules out wrong-but-valid decodes — a corrupted frame either
+//     fails, or it was byte-identical to a legitimate encoding.
+//
+// It also cross-checks the two frame readers (in-memory SplitFrame vs
+// streaming ReadFrame) against each other.
+func FuzzWireCodec(f *testing.F) {
+	// Seeds: every record type once, plus classic corruptions of a known
+	// frame.
+	e := NewEncoder()
+	for _, req := range sampleRequests() {
+		f.Add(append([]byte(nil), e.RequestFrame(req)...))
+	}
+	for _, j := range sampleJobs() {
+		f.Add(append([]byte(nil), e.JobFrame(j)...))
+	}
+	f.Add(append([]byte(nil), e.SubmitFrame(SubmitResponse{Job: sampleJobs()[1], Cached: true})...))
+	f.Add(append([]byte(nil), e.ErrorFrame(Error{Code: 503, Message: "draining"})...))
+	f.Add(append([]byte(nil), e.MatrixRequestFrame(MatrixRequest{
+		Systems: []string{"nos-vp", "nos-nvp", "neofog"}, Weathers: []string{"sunny", "rainy"},
+		Intensities: []float64{0, 60, 120}, Nodes: 4, Rounds: 30, Seed: 1,
+	})...))
+	f.Add(append([]byte(nil), e.MatrixHeaderFrame(MatrixHeader{Cells: 27, Key: "feedface"})...))
+	f.Add(append([]byte(nil), e.MatrixCellFrame(MatrixCell{Index: 3, System: "neofog", Weather: "rainy", Job: sampleJobs()[1]})...))
+	f.Add(append([]byte(nil), e.MatrixDoneFrame(MatrixDone{Done: 27})...))
+	f.Add(append([]byte(nil), e.ResultFrame([]byte(`{"fog_packets":42}`))...))
+	known := append([]byte(nil), e.ErrorFrame(Error{Code: 404, Message: "no job"})...)
+	e.Release()
+	f.Add(known[:len(known)-3]) // truncated
+	flipped := append([]byte(nil), known...)
+	flipped[len(flipped)/2] ^= 0x10
+	f.Add(flipped)                                                // bit-flipped
+	f.Add([]byte{})                                               // empty
+	f.Add([]byte{Version})                                        // header only
+	f.Add([]byte{Version, TypeJob, 0xff, 0xff, 0xff, 0xff, 0xff}) // hostile length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, rest, err := SplitFrame(data)
+
+		// The streaming reader must agree with the splitter on the first
+		// frame: same accept/reject, same bytes. (ReadFrame reports clean
+		// EOF on an empty stream where SplitFrame says truncated.)
+		sTyp, sPayload, sErr := ReadFrame(bytes.NewReader(data))
+		if err == nil {
+			if sErr != nil || sTyp != typ || !bytes.Equal(sPayload, payload) {
+				t.Fatalf("ReadFrame disagrees with SplitFrame: err %v type %#x", sErr, sTyp)
+			}
+		} else if sErr == nil {
+			t.Fatalf("ReadFrame accepted what SplitFrame rejected (%v)", err)
+		} else if len(data) == 0 {
+			if sErr != io.EOF {
+				t.Fatalf("empty stream: err %v, want io.EOF", sErr)
+			}
+		} else if !errors.Is(sErr, ErrTruncated) && !errors.Is(sErr, ErrCorrupt) {
+			t.Fatalf("ReadFrame error %v is neither ErrTruncated nor ErrCorrupt", sErr)
+		}
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("SplitFrame error %v is neither ErrTruncated nor ErrCorrupt", err)
+			}
+			return
+		}
+
+		// Accepted frame: if its payload decodes as a record, re-encoding
+		// must reproduce the original frame bytes exactly.
+		frame := data[:len(data)-len(rest)]
+		if reenc, ok := reencode(typ, payload); ok && !bytes.Equal(reenc, frame) {
+			t.Fatalf("fixed point violated for type %#x:\n in  %x\n out %x", typ, frame, reenc)
+		}
+	})
+}

@@ -1,0 +1,730 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"time"
+
+	"neofog"
+)
+
+// This file holds the serve API's record types and their binary codecs.
+// The types live here (rather than in internal/serve) so the codec can
+// be zero-reflection without an import cycle; internal/serve aliases
+// them back (`type Request = wire.Request`), which keeps the JSON
+// transport, the router, and every existing caller compiling against
+// the same structs. The json tags on these structs belong to the JSON
+// transport; the binary codec never reads them — each record encodes
+// its fields in the fixed order its appendX/DecodeX pair documents.
+
+// Request kinds.
+const (
+	KindSimulate   = "simulate"
+	KindFleet      = "fleet"
+	KindExperiment = "experiment"
+)
+
+// Request is the submission envelope. Exactly one payload applies per
+// kind: Config for "simulate" and "fleet" (with Chains), Experiment plus
+// Options for "experiment". An empty Kind means "simulate", and an empty
+// Config means the facade's default deployment.
+type Request struct {
+	// Kind selects the facade entry point: simulate (default), fleet, or
+	// experiment.
+	Kind string `json:"kind,omitempty"`
+	// Config is the deployment for simulate and fleet jobs; nil means
+	// all defaults. Observer fields (Journal, Telemetry) are not part of
+	// the wire format.
+	Config *neofog.SimulationConfig `json:"config,omitempty"`
+	// Chains is the fleet width (fleet jobs only, ≥ 1).
+	Chains int `json:"chains,omitempty"`
+	// Experiment is the artifact ID for experiment jobs (see
+	// GET /v1/experiments; any `-exp` ID is servable).
+	Experiment string `json:"experiment,omitempty"`
+	// Options tunes experiment jobs.
+	Options *ExperimentOptions `json:"options,omitempty"`
+	// Format is the experiment output encoding: "table" (default) or
+	// "csv".
+	Format string `json:"format,omitempty"`
+}
+
+// ExperimentOptions is the wire form of neofog.ExperimentOptions.
+type ExperimentOptions struct {
+	Seed             int64     `json:"seed,omitempty"`
+	Nodes            int       `json:"nodes,omitempty"`
+	Rounds           int       `json:"rounds,omitempty"`
+	FaultSeed        int64     `json:"fault_seed,omitempty"`
+	FaultIntensities []float64 `json:"fault_intensities,omitempty"`
+	// Parallel is the sweep pool width. It is deliberately excluded from
+	// the cache key: sweeps are proven byte-identical at every width, so
+	// two requests differing only in Parallel are the same job.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// Statuses of a job's lifecycle. queued → running → done | failed |
+// cancelled | poisoned; cancelled can also strike a job still in the
+// queue. Poisoned means the run panicked and the key is quarantined —
+// resubmitting retries it until the quarantine cap, then rejects.
+const (
+	StatusQueued    = "queued"
+	StatusRunning   = "running"
+	StatusDone      = "done"
+	StatusFailed    = "failed"
+	StatusCancelled = "cancelled"
+	StatusPoisoned  = "poisoned"
+)
+
+// Job is the public snapshot of one submission, as served by the API.
+type Job struct {
+	ID          string     `json:"id"`
+	Key         string     `json:"key"`
+	Kind        string     `json:"kind"`
+	Status      string     `json:"status"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Deadline is the absolute point by which the job must finish, when
+	// the submission carried one; past it the job is cancelled (queued or
+	// running) rather than left to run.
+	Deadline *time.Time `json:"deadline,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	// Result is the cached result body (present once Status is done).
+	// Cached and freshly computed responses are byte-identical: the body
+	// is marshaled once, when the run finishes, and served verbatim ever
+	// after. The binary transport strips it from job snapshots — results
+	// are fetched once via their own endpoint, not re-shipped with every
+	// poll.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Hits counts submissions served by this job beyond the first — the
+	// cache and single-flight reuse of its run.
+	Hits int64 `json:"hits,omitempty"`
+}
+
+// SubmitResponse is the POST /v1/jobs body.
+type SubmitResponse struct {
+	Job Job `json:"job"`
+	// Cached reports that this submission was answered entirely from the
+	// result cache (no new run).
+	Cached bool `json:"cached"`
+	// Deduped reports that this submission attached to an identical job
+	// already queued or running (single-flight).
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// Error is the binary transport's error body (TypeError payload). Code
+// mirrors the HTTP status the frame rode in on, so stream consumers
+// that no longer see response headers still know what failed.
+type Error struct {
+	Code    int    `json:"code"`
+	Message string `json:"error"`
+}
+
+// MatrixRequest is the POST /v1/experiments/matrix body: a sweep over
+// systems × weathers × solar intensities, fanned out into one
+// content-addressed simulate job per cell. Cell order is deterministic:
+// systems outermost, weathers, then intensities.
+type MatrixRequest struct {
+	// Systems are node architectures to sweep (nos-vp, nos-nvp, neofog).
+	Systems []string `json:"systems"`
+	// Weathers are solar regimes to sweep (sunny, overcast, rainy).
+	Weathers []string `json:"weathers"`
+	// Intensities are clear-sky panel-peak overrides in milliwatts, one
+	// cell per value; 0 keeps the regime default.
+	Intensities []float64 `json:"intensities"`
+	// Nodes, Rounds, Seed, Multiplexing, Recovery fix the rest of the
+	// deployment for every cell (zero values mean the usual defaults).
+	Nodes        int   `json:"nodes,omitempty"`
+	Rounds       int   `json:"rounds,omitempty"`
+	Seed         int64 `json:"seed,omitempty"`
+	Multiplexing int   `json:"multiplexing,omitempty"`
+	Recovery     bool  `json:"recovery,omitempty"`
+	// Parallel bounds the matrix fan-out (same semantics as
+	// experiments.Options.Parallel: 0 means one worker per CPU).
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// MatrixHeader opens a matrix stream: the total cell count and the
+// matrix key (the routing identity of the whole batch).
+type MatrixHeader struct {
+	Cells int    `json:"cells"`
+	Key   string `json:"key"`
+}
+
+// MatrixCell reports one completed cell. Cells stream in completion
+// order; Index places the cell in the deterministic request order.
+type MatrixCell struct {
+	Index     int     `json:"index"`
+	System    string  `json:"system"`
+	Weather   string  `json:"weather"`
+	Intensity float64 `json:"intensity"`
+	Cached    bool    `json:"cached,omitempty"`
+	Deduped   bool    `json:"deduped,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Job       Job     `json:"job"`
+}
+
+// MatrixDone terminates a matrix stream with the completion tally.
+type MatrixDone struct {
+	Done   int `json:"done"`
+	Failed int `json:"failed"`
+}
+
+// ---------------------------------------------------------------------
+// Encoding primitives. Integers are varints (zig-zag for signed),
+// strings and byte fields are length-prefixed, bools and presence
+// markers are one strict 0/1 byte, float64s are 8 fixed big-endian
+// bytes of their IEEE bits, and times are a presence byte followed by a
+// zig-zag varint of UnixNano.
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendTime(dst []byte, t time.Time) []byte {
+	if t.IsZero() {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.AppendVarint(dst, t.UnixNano())
+}
+
+func appendTimePtr(dst []byte, t *time.Time) []byte {
+	if t == nil {
+		return append(dst, 0)
+	}
+	return appendTime(dst, *t)
+}
+
+func appendF64s(dst []byte, vs []float64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+func appendStrings(dst []byte, vs []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = appendString(dst, v)
+	}
+	return dst
+}
+
+// reader decodes a record payload with a sticky error. Every accessor
+// is strict — non-minimal varints, presence bytes other than 0/1, and
+// truncated fields all poison the reader — so that any payload the
+// reader fully accepts re-encodes to exactly the same bytes.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = corruptf(format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	if uvarintLen(v) != n {
+		r.fail("non-minimal uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	u := r.uvarint() // zig-zag shares the uvarint wire form (and its minimality rule)
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// int_ decodes a varint that must fit a platform int.
+func (r *reader) int_() int {
+	v := r.varint()
+	if int64(int(v)) != v {
+		r.fail("integer %d overflows int", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *reader) bytes_() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("byte field length %d exceeds remaining %d", n, len(r.b))
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[:n])
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) string_() string { return string(r.bytes_()) }
+
+func (r *reader) bool_() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.b) == 0 {
+		r.fail("truncated bool")
+		return false
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	if v > 1 {
+		r.fail("bool byte %d", v)
+		return false
+	}
+	return v == 1
+}
+
+func (r *reader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) < 8 {
+		r.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v
+}
+
+// time_ decodes a presence byte + UnixNano varint. A decoded present
+// time can never read as the zero instant (time.Unix covers only ±292
+// years around 1970; the zero instant is year 1), so re-encoding a
+// decoded time always reproduces the same presence byte — the property
+// that keeps the codec a fixed point.
+func (r *reader) time_() time.Time {
+	if !r.bool_() {
+		return time.Time{}
+	}
+	return time.Unix(0, r.varint()).UTC()
+}
+
+func (r *reader) timePtr() *time.Time {
+	if !r.bool_() {
+		return nil
+	}
+	t := time.Unix(0, r.varint()).UTC()
+	return &t
+}
+
+func (r *reader) f64s() []float64 {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b))/8 {
+		r.fail("float slice length %d exceeds remaining bytes", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+func (r *reader) strings_() []string {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) { // every element costs ≥ 1 length byte
+		r.fail("string slice length %d exceeds remaining bytes", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.string_()
+	}
+	return out
+}
+
+// done finishes a decode: any sticky error wins, then leftover bytes
+// are an error of their own (a shorter valid record padded with junk
+// must not decode).
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return corruptf("%d trailing bytes after record", len(r.b))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Record codecs. Each appendX documents its field order; DecodeX reads
+// the same order back.
+
+// appendConfig: System, Balancer, Application, Nodes, Rounds,
+// SlotSeconds, Weather, SolarPeakMilliwatts, Correlated, Multiplexing,
+// FogInstsPerByte, Resumable, WakeupRadio, Recovery, Seed. The observer
+// fields (Journal, Telemetry) are process-local and never travel.
+func appendConfig(dst []byte, c *neofog.SimulationConfig) []byte {
+	dst = appendString(dst, string(c.System))
+	dst = appendString(dst, string(c.Balancer))
+	dst = appendString(dst, string(c.Application))
+	dst = binary.AppendVarint(dst, int64(c.Nodes))
+	dst = binary.AppendVarint(dst, int64(c.Rounds))
+	dst = appendF64(dst, c.SlotSeconds)
+	dst = appendString(dst, string(c.Weather))
+	dst = appendF64(dst, c.SolarPeakMilliwatts)
+	dst = appendBool(dst, c.Correlated)
+	dst = binary.AppendVarint(dst, int64(c.Multiplexing))
+	dst = binary.AppendVarint(dst, c.FogInstsPerByte)
+	dst = appendBool(dst, c.Resumable)
+	dst = appendBool(dst, c.WakeupRadio)
+	dst = appendBool(dst, c.Recovery)
+	return binary.AppendVarint(dst, c.Seed)
+}
+
+func (r *reader) config() *neofog.SimulationConfig {
+	c := &neofog.SimulationConfig{}
+	c.System = neofog.System(r.string_())
+	c.Balancer = neofog.Balancer(r.string_())
+	c.Application = neofog.Application(r.string_())
+	c.Nodes = r.int_()
+	c.Rounds = r.int_()
+	c.SlotSeconds = r.f64()
+	c.Weather = neofog.Weather(r.string_())
+	c.SolarPeakMilliwatts = r.f64()
+	c.Correlated = r.bool_()
+	c.Multiplexing = r.int_()
+	c.FogInstsPerByte = r.varint()
+	c.Resumable = r.bool_()
+	c.WakeupRadio = r.bool_()
+	c.Recovery = r.bool_()
+	c.Seed = r.varint()
+	return c
+}
+
+// appendRequest: Kind, Config (presence + fields), Chains, Experiment,
+// Options (presence + Seed, Nodes, Rounds, FaultSeed, FaultIntensities,
+// Parallel), Format.
+func appendRequest(dst []byte, req Request) []byte {
+	dst = appendString(dst, req.Kind)
+	if req.Config == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendConfig(dst, req.Config)
+	}
+	dst = binary.AppendVarint(dst, int64(req.Chains))
+	dst = appendString(dst, req.Experiment)
+	if req.Options == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = binary.AppendVarint(dst, req.Options.Seed)
+		dst = binary.AppendVarint(dst, int64(req.Options.Nodes))
+		dst = binary.AppendVarint(dst, int64(req.Options.Rounds))
+		dst = binary.AppendVarint(dst, req.Options.FaultSeed)
+		dst = appendF64s(dst, req.Options.FaultIntensities)
+		dst = binary.AppendVarint(dst, int64(req.Options.Parallel))
+	}
+	return appendString(dst, req.Format)
+}
+
+// DecodeRequest decodes a TypeRequest payload.
+func DecodeRequest(payload []byte) (Request, error) {
+	r := &reader{b: payload}
+	var req Request
+	req.Kind = r.string_()
+	if r.bool_() {
+		req.Config = r.config()
+	}
+	req.Chains = r.int_()
+	req.Experiment = r.string_()
+	if r.bool_() {
+		o := &ExperimentOptions{}
+		o.Seed = r.varint()
+		o.Nodes = r.int_()
+		o.Rounds = r.int_()
+		o.FaultSeed = r.varint()
+		o.FaultIntensities = r.f64s()
+		o.Parallel = r.int_()
+		req.Options = o
+	}
+	req.Format = r.string_()
+	if err := r.done(); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// appendJob: ID, Key, Kind, Status, SubmittedAt, StartedAt, FinishedAt,
+// Deadline, Error, Result, Hits.
+func appendJob(dst []byte, j Job) []byte {
+	dst = appendString(dst, j.ID)
+	dst = appendString(dst, j.Key)
+	dst = appendString(dst, j.Kind)
+	dst = appendString(dst, j.Status)
+	dst = appendTime(dst, j.SubmittedAt)
+	dst = appendTimePtr(dst, j.StartedAt)
+	dst = appendTimePtr(dst, j.FinishedAt)
+	dst = appendTimePtr(dst, j.Deadline)
+	dst = appendString(dst, j.Error)
+	dst = appendBytes(dst, j.Result)
+	return binary.AppendVarint(dst, j.Hits)
+}
+
+func (r *reader) job() Job {
+	var j Job
+	j.ID = r.string_()
+	j.Key = r.string_()
+	j.Kind = r.string_()
+	j.Status = r.string_()
+	j.SubmittedAt = r.time_()
+	j.StartedAt = r.timePtr()
+	j.FinishedAt = r.timePtr()
+	j.Deadline = r.timePtr()
+	j.Error = r.string_()
+	j.Result = r.bytes_()
+	j.Hits = r.varint()
+	return j
+}
+
+// DecodeJob decodes a TypeJob payload.
+func DecodeJob(payload []byte) (Job, error) {
+	r := &reader{b: payload}
+	j := r.job()
+	if err := r.done(); err != nil {
+		return Job{}, err
+	}
+	return j, nil
+}
+
+// appendSubmit: Job, Cached, Deduped.
+func appendSubmit(dst []byte, sr SubmitResponse) []byte {
+	dst = appendJob(dst, sr.Job)
+	dst = appendBool(dst, sr.Cached)
+	return appendBool(dst, sr.Deduped)
+}
+
+// DecodeSubmit decodes a TypeSubmit payload.
+func DecodeSubmit(payload []byte) (SubmitResponse, error) {
+	r := &reader{b: payload}
+	var sr SubmitResponse
+	sr.Job = r.job()
+	sr.Cached = r.bool_()
+	sr.Deduped = r.bool_()
+	if err := r.done(); err != nil {
+		return SubmitResponse{}, err
+	}
+	return sr, nil
+}
+
+// appendError: Code, Message.
+func appendError(dst []byte, e Error) []byte {
+	dst = binary.AppendVarint(dst, int64(e.Code))
+	return appendString(dst, e.Message)
+}
+
+// DecodeError decodes a TypeError payload.
+func DecodeError(payload []byte) (Error, error) {
+	r := &reader{b: payload}
+	var e Error
+	e.Code = r.int_()
+	e.Message = r.string_()
+	if err := r.done(); err != nil {
+		return Error{}, err
+	}
+	return e, nil
+}
+
+// appendMatrixRequest: Systems, Weathers, Intensities, Nodes, Rounds,
+// Seed, Multiplexing, Recovery, Parallel.
+func appendMatrixRequest(dst []byte, m MatrixRequest) []byte {
+	dst = appendStrings(dst, m.Systems)
+	dst = appendStrings(dst, m.Weathers)
+	dst = appendF64s(dst, m.Intensities)
+	dst = binary.AppendVarint(dst, int64(m.Nodes))
+	dst = binary.AppendVarint(dst, int64(m.Rounds))
+	dst = binary.AppendVarint(dst, m.Seed)
+	dst = binary.AppendVarint(dst, int64(m.Multiplexing))
+	dst = appendBool(dst, m.Recovery)
+	return binary.AppendVarint(dst, int64(m.Parallel))
+}
+
+// DecodeMatrixRequest decodes a TypeMatrixRequest payload.
+func DecodeMatrixRequest(payload []byte) (MatrixRequest, error) {
+	r := &reader{b: payload}
+	var m MatrixRequest
+	m.Systems = r.strings_()
+	m.Weathers = r.strings_()
+	m.Intensities = r.f64s()
+	m.Nodes = r.int_()
+	m.Rounds = r.int_()
+	m.Seed = r.varint()
+	m.Multiplexing = r.int_()
+	m.Recovery = r.bool_()
+	m.Parallel = r.int_()
+	if err := r.done(); err != nil {
+		return MatrixRequest{}, err
+	}
+	return m, nil
+}
+
+// appendMatrixHeader: Cells, Key.
+func appendMatrixHeader(dst []byte, h MatrixHeader) []byte {
+	dst = binary.AppendVarint(dst, int64(h.Cells))
+	return appendString(dst, h.Key)
+}
+
+// DecodeMatrixHeader decodes a TypeMatrixHeader payload.
+func DecodeMatrixHeader(payload []byte) (MatrixHeader, error) {
+	r := &reader{b: payload}
+	var h MatrixHeader
+	h.Cells = r.int_()
+	h.Key = r.string_()
+	if err := r.done(); err != nil {
+		return MatrixHeader{}, err
+	}
+	return h, nil
+}
+
+// appendMatrixCell: Index, System, Weather, Intensity, Cached, Deduped,
+// Error, Job.
+func appendMatrixCell(dst []byte, c MatrixCell) []byte {
+	dst = binary.AppendVarint(dst, int64(c.Index))
+	dst = appendString(dst, c.System)
+	dst = appendString(dst, c.Weather)
+	dst = appendF64(dst, c.Intensity)
+	dst = appendBool(dst, c.Cached)
+	dst = appendBool(dst, c.Deduped)
+	dst = appendString(dst, c.Error)
+	return appendJob(dst, c.Job)
+}
+
+// DecodeMatrixCell decodes a TypeMatrixCell payload.
+func DecodeMatrixCell(payload []byte) (MatrixCell, error) {
+	r := &reader{b: payload}
+	var c MatrixCell
+	c.Index = r.int_()
+	c.System = r.string_()
+	c.Weather = r.string_()
+	c.Intensity = r.f64()
+	c.Cached = r.bool_()
+	c.Deduped = r.bool_()
+	c.Error = r.string_()
+	c.Job = r.job()
+	if err := r.done(); err != nil {
+		return MatrixCell{}, err
+	}
+	return c, nil
+}
+
+// appendMatrixDone: Done, Failed.
+func appendMatrixDone(dst []byte, d MatrixDone) []byte {
+	dst = binary.AppendVarint(dst, int64(d.Done))
+	return binary.AppendVarint(dst, int64(d.Failed))
+}
+
+// DecodeMatrixDone decodes a TypeMatrixDone payload.
+func DecodeMatrixDone(payload []byte) (MatrixDone, error) {
+	r := &reader{b: payload}
+	var d MatrixDone
+	d.Done = r.int_()
+	d.Failed = r.int_()
+	if err := r.done(); err != nil {
+		return MatrixDone{}, err
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------
+// Encoder frame methods: encode one record into the pooled payload
+// buffer and frame it. The returned slice aliases the encoder.
+
+// RequestFrame frames a submission.
+func (e *Encoder) RequestFrame(req Request) []byte {
+	e.payload = appendRequest(e.payload[:0], req)
+	return e.emit(TypeRequest)
+}
+
+// SubmitFrame frames a submission response.
+func (e *Encoder) SubmitFrame(sr SubmitResponse) []byte {
+	e.payload = appendSubmit(e.payload[:0], sr)
+	return e.emit(TypeSubmit)
+}
+
+// JobFrame frames a job snapshot.
+func (e *Encoder) JobFrame(j Job) []byte {
+	e.payload = appendJob(e.payload[:0], j)
+	return e.emit(TypeJob)
+}
+
+// ErrorFrame frames an error body.
+func (e *Encoder) ErrorFrame(err Error) []byte {
+	e.payload = appendError(e.payload[:0], err)
+	return e.emit(TypeError)
+}
+
+// MatrixRequestFrame frames a batch matrix submission.
+func (e *Encoder) MatrixRequestFrame(m MatrixRequest) []byte {
+	e.payload = appendMatrixRequest(e.payload[:0], m)
+	return e.emit(TypeMatrixRequest)
+}
+
+// MatrixHeaderFrame frames a matrix stream opener.
+func (e *Encoder) MatrixHeaderFrame(h MatrixHeader) []byte {
+	e.payload = appendMatrixHeader(e.payload[:0], h)
+	return e.emit(TypeMatrixHeader)
+}
+
+// MatrixCellFrame frames one completed matrix cell.
+func (e *Encoder) MatrixCellFrame(c MatrixCell) []byte {
+	e.payload = appendMatrixCell(e.payload[:0], c)
+	return e.emit(TypeMatrixCell)
+}
+
+// MatrixDoneFrame frames a matrix stream terminator.
+func (e *Encoder) MatrixDoneFrame(d MatrixDone) []byte {
+	e.payload = appendMatrixDone(e.payload[:0], d)
+	return e.emit(TypeMatrixDone)
+}

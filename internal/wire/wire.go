@@ -1,0 +1,268 @@
+// Package wire is the serve layer's hand-rolled binary transport codec:
+// a stdlib-only, length-prefixed frame format plus zero-reflection
+// record encoders for the service API's request and response shapes. It
+// exists because the JSON surface is allocation- and byte-heavy exactly
+// where traffic is densest — millions of small, highly dedupable
+// submissions — and the communication front end, not compute, is the
+// dominant cost of that path.
+//
+// # Frame layout
+//
+// Every frame is self-delimiting and self-verifying:
+//
+//		+---------+------+---------------------+---------+-----------+
+//		| version | type | payload len (uvarint) | payload | CRC32 (4) |
+//		+---------+------+---------------------+---------+-----------+
+//
+//	  - version is one byte, currently 1. A decoder rejects frames whose
+//	    version it does not speak; adding fields to a record is a version
+//	    bump, never a silent reinterpretation.
+//	  - type is one byte naming the record in the payload (TypeRequest,
+//	    TypeJob, ...).
+//	  - payload len is an unsigned varint (minimal form required) bounded
+//	    by MaxFrame.
+//	  - CRC32 (IEEE, big-endian) covers everything before it — version,
+//	    type, length bytes, and payload — so any single-bit corruption is
+//	    detected before a record is decoded.
+//
+// # Record encoding
+//
+// Payloads are encoded field by field in a fixed order with no
+// reflection and no per-field tags: varints for integers (zig-zag for
+// signed), a presence byte for optional values, length-prefixed bytes
+// for strings, and 8 fixed big-endian bytes for float64s. Decoders are
+// strict: non-minimal varints, bad presence/bool bytes, truncated
+// fields, and trailing bytes are all errors, which (with the CRC) is
+// what makes encode∘decode a fixed point — every frame that decodes at
+// all re-encodes to exactly the same bytes (FuzzWireCodec proves it).
+//
+// Encoders build frames into pooled buffers (same spirit as
+// internal/compress's pooled scratch state): acquire an Encoder, emit
+// any number of frames, Release it. Returned frame slices alias the
+// encoder's buffer and are valid until the next frame or Release.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+)
+
+// Version is the wire-format version this package speaks. Decoders
+// reject anything else; format changes bump it.
+const Version = 1
+
+// ContentType is the HTTP media type of the binary transport.
+const ContentType = "application/x-neofog-wire"
+
+// MaxFrame bounds one frame's payload. It exists so a corrupted or
+// hostile length prefix cannot make a decoder allocate without bound;
+// result bodies (the largest payloads — experiment CSVs) sit far below
+// it.
+const MaxFrame = 64 << 20
+
+// Frame types. The type byte names the record in the payload.
+const (
+	TypeRequest       byte = 0x01 // a submission (Request)
+	TypeSubmit        byte = 0x02 // a submission response (SubmitResponse)
+	TypeJob           byte = 0x03 // a job snapshot (Job)
+	TypeResult        byte = 0x04 // raw result bytes, verbatim
+	TypeError         byte = 0x05 // an error (Error)
+	TypeMatrixRequest byte = 0x06 // a batch matrix submission (MatrixRequest)
+	TypeMatrixHeader  byte = 0x07 // matrix stream opener (MatrixHeader)
+	TypeMatrixCell    byte = 0x08 // one completed matrix cell (MatrixCell)
+	TypeMatrixDone    byte = 0x09 // matrix stream terminator (MatrixDone)
+)
+
+// Codec errors. All decode failures wrap ErrCorrupt except truncation,
+// which is ErrTruncated so stream readers can distinguish "need more
+// bytes" from "bad bytes".
+var (
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrCorrupt   = errors.New("wire: corrupt frame")
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// AppendFrame appends one complete frame — header, payload, CRC — to
+// dst and returns the extended slice.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, Version, typ)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, sum)
+}
+
+// SplitFrame decodes one frame from the front of b, returning its type,
+// payload, and the remaining bytes. The payload aliases b.
+func SplitFrame(b []byte) (typ byte, payload, rest []byte, err error) {
+	if len(b) < 2 {
+		return 0, nil, nil, ErrTruncated
+	}
+	if b[0] != Version {
+		return 0, nil, nil, corruptf("version %d (speak %d)", b[0], Version)
+	}
+	typ = b[1]
+	n, ln := binary.Uvarint(b[2:])
+	if ln <= 0 {
+		if ln == 0 {
+			return 0, nil, nil, ErrTruncated
+		}
+		return 0, nil, nil, corruptf("payload length overflows")
+	}
+	if n > MaxFrame {
+		return 0, nil, nil, corruptf("payload length %d exceeds MaxFrame", n)
+	}
+	if uvarintLen(n) != ln {
+		return 0, nil, nil, corruptf("non-minimal payload length")
+	}
+	head := 2 + ln
+	total := head + int(n) + 4
+	if len(b) < total {
+		return 0, nil, nil, ErrTruncated
+	}
+	body := b[:head+int(n)]
+	want := binary.BigEndian.Uint32(b[head+int(n):])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, nil, nil, corruptf("CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return typ, b[head : head+int(n)], b[total:], nil
+}
+
+// ReadFrame reads exactly one frame from r. Unlike SplitFrame it owns
+// its buffers, so the returned payload does not alias reader state. An
+// io.EOF before the first header byte surfaces as io.EOF (clean end of
+// stream); EOF anywhere inside a frame is ErrTruncated.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var head [2]byte
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, ErrTruncated
+	}
+	if head[0] != Version {
+		return 0, nil, corruptf("version %d (speak %d)", head[0], Version)
+	}
+	if _, err := io.ReadFull(r, head[1:2]); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	typ = head[1]
+	crc := crc32.NewIEEE()
+	crc.Write(head[:2])
+	n, lenBytes, err := readUvarint(r, crc)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > MaxFrame {
+		return 0, nil, corruptf("payload length %d exceeds MaxFrame", n)
+	}
+	if uvarintLen(n) != lenBytes {
+		return 0, nil, corruptf("non-minimal payload length")
+	}
+	payload = make([]byte, int(n))
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	crc.Write(payload)
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return 0, nil, ErrTruncated
+	}
+	if got, want := crc.Sum32(), binary.BigEndian.Uint32(sum[:]); got != want {
+		return 0, nil, corruptf("CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	return typ, payload, nil
+}
+
+// readUvarint reads one uvarint byte by byte, feeding every byte to crc,
+// and reports how many bytes it consumed.
+func readUvarint(r io.Reader, crc io.Writer) (uint64, int, error) {
+	var v uint64
+	var b [1]byte
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, 0, ErrTruncated
+		}
+		crc.Write(b[:])
+		if b[0] < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b[0] > 1 {
+				return 0, 0, corruptf("payload length overflows")
+			}
+			return v | uint64(b[0])<<(7*i), i + 1, nil
+		}
+		v |= uint64(b[0]&0x7f) << (7 * i)
+	}
+	return 0, 0, corruptf("payload length overflows")
+}
+
+// uvarintLen is the minimal encoded size of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Encoder builds frames into reusable buffers. Acquire with NewEncoder,
+// emit frames, Release when done. The slice each frame method returns
+// aliases the encoder's buffer: write it out (or copy it) before the
+// next frame, and never retain it past Release.
+type Encoder struct {
+	payload []byte // record under construction
+	frame   []byte // framed output (header + payload + CRC)
+}
+
+var encPool = sync.Pool{New: func() any {
+	return &Encoder{payload: make([]byte, 0, 512), frame: make([]byte, 0, 512)}
+}}
+
+// NewEncoder returns a pooled encoder.
+func NewEncoder() *Encoder { return encPool.Get().(*Encoder) }
+
+// Release returns the encoder (and its buffers) to the pool. The
+// encoder must not be used afterwards.
+func (e *Encoder) Release() {
+	// Oversized one-off buffers (a huge result body) are dropped rather
+	// than pinned in the pool forever.
+	const keep = 1 << 20
+	if cap(e.payload) > keep {
+		e.payload = make([]byte, 0, 512)
+	}
+	if cap(e.frame) > keep {
+		e.frame = make([]byte, 0, 512)
+	}
+	encPool.Put(e)
+}
+
+// emit frames the accumulated payload.
+func (e *Encoder) emit(typ byte) []byte {
+	e.frame = AppendFrame(e.frame[:0], typ, e.payload)
+	return e.frame
+}
+
+// ResultFrame frames raw result bytes verbatim — no intermediate
+// marshal, no copy beyond the frame assembly itself.
+func (e *Encoder) ResultFrame(body []byte) []byte {
+	e.payload = append(e.payload[:0], body...)
+	return e.emit(TypeResult)
+}
+
+// WriteFrame writes one framed payload to w through a pooled encoder —
+// the convenience form for single-frame responses.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	e := NewEncoder()
+	defer e.Release()
+	e.payload = append(e.payload[:0], payload...)
+	_, err := w.Write(e.emit(typ))
+	return err
+}

@@ -1,0 +1,486 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+	"time"
+
+	"neofog"
+)
+
+func ts(sec int64) time.Time { return time.Unix(sec, 421).UTC() }
+
+func tsp(sec int64) *time.Time {
+	t := ts(sec)
+	return &t
+}
+
+// sampleRequests covers every Request shape the API accepts plus the
+// degenerate empties.
+func sampleRequests() []Request {
+	return []Request{
+		{},
+		{Kind: KindSimulate, Config: &neofog.SimulationConfig{
+			System:  neofog.SystemNEOFog,
+			Weather: neofog.WeatherRainy,
+			Nodes:   7, Rounds: 300, Seed: 42,
+			SlotSeconds:         12,
+			SolarPeakMilliwatts: 81.5,
+			Correlated:          true,
+			Multiplexing:        3,
+			FogInstsPerByte:     1 << 40,
+			Resumable:           true, WakeupRadio: true, Recovery: true,
+		}},
+		{Kind: KindFleet, Chains: 4, Config: &neofog.SimulationConfig{System: neofog.SystemVP}},
+		{Kind: KindExperiment, Experiment: "fig12-exp", Format: "csv", Options: &ExperimentOptions{
+			Seed: -3, Nodes: 10, Rounds: 1500, FaultSeed: 9,
+			FaultIntensities: []float64{0, 0.25, 1},
+			Parallel:         8,
+		}},
+	}
+}
+
+func sampleJobs() []Job {
+	return []Job{
+		{},
+		{
+			ID: "j-0011223344556677", Key: "0011223344556677aa", Kind: KindSimulate,
+			Status: StatusDone, SubmittedAt: ts(100), StartedAt: tsp(101),
+			FinishedAt: tsp(102), Deadline: tsp(200),
+			Result: []byte(`{"ok":true}`), Hits: 12,
+		},
+		{ID: "j-x", Status: StatusFailed, SubmittedAt: ts(5), Error: "boom"},
+	}
+}
+
+// TestFrameRoundTrip drives every record type through its frame method,
+// SplitFrame, ReadFrame, and its decoder, checking value equality and
+// the encode∘decode fixed point.
+func TestFrameRoundTrip(t *testing.T) {
+	type record struct {
+		name  string
+		typ   byte
+		frame func(e *Encoder) []byte
+		check func(t *testing.T, payload []byte)
+	}
+	var records []record
+	for i, req := range sampleRequests() {
+		req := req
+		records = append(records, record{"request", TypeRequest,
+			func(e *Encoder) []byte { return e.RequestFrame(req) },
+			func(t *testing.T, p []byte) {
+				got, err := DecodeRequest(p)
+				if err != nil {
+					t.Fatalf("request %d: %v", i, err)
+				}
+				if got.Kind != req.Kind || got.Chains != req.Chains ||
+					got.Experiment != req.Experiment || got.Format != req.Format {
+					t.Fatalf("request %d scalars: got %+v want %+v", i, got, req)
+				}
+				if (got.Config == nil) != (req.Config == nil) {
+					t.Fatalf("request %d config presence mismatch", i)
+				}
+				if got.Config != nil && *got.Config != *req.Config {
+					t.Fatalf("request %d config: got %+v want %+v", i, *got.Config, *req.Config)
+				}
+			}})
+	}
+	for i, j := range sampleJobs() {
+		j := j
+		records = append(records, record{"job", TypeJob,
+			func(e *Encoder) []byte { return e.JobFrame(j) },
+			func(t *testing.T, p []byte) {
+				got, err := DecodeJob(p)
+				if err != nil {
+					t.Fatalf("job %d: %v", i, err)
+				}
+				if got.ID != j.ID || got.Status != j.Status || got.Hits != j.Hits ||
+					!got.SubmittedAt.Equal(j.SubmittedAt) || !bytes.Equal(got.Result, j.Result) {
+					t.Fatalf("job %d: got %+v want %+v", i, got, j)
+				}
+			}})
+	}
+	sr := SubmitResponse{Job: sampleJobs()[1], Cached: true, Deduped: true}
+	records = append(records,
+		record{"submit", TypeSubmit,
+			func(e *Encoder) []byte { return e.SubmitFrame(sr) },
+			func(t *testing.T, p []byte) {
+				got, err := DecodeSubmit(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Cached || !got.Deduped || got.Job.ID != sr.Job.ID {
+					t.Fatalf("submit: got %+v", got)
+				}
+			}},
+		record{"error", TypeError,
+			func(e *Encoder) []byte { return e.ErrorFrame(Error{Code: 429, Message: "queue full"}) },
+			func(t *testing.T, p []byte) {
+				got, err := DecodeError(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Code != 429 || got.Message != "queue full" {
+					t.Fatalf("error: got %+v", got)
+				}
+			}},
+		record{"matrix-request", TypeMatrixRequest,
+			func(e *Encoder) []byte {
+				return e.MatrixRequestFrame(MatrixRequest{
+					Systems: []string{"nos-vp", "neofog"}, Weathers: []string{"sunny"},
+					Intensities: []float64{0, 120.5}, Nodes: 4, Rounds: 40,
+					Seed: 7, Multiplexing: 2, Recovery: true, Parallel: 3,
+				})
+			},
+			func(t *testing.T, p []byte) {
+				got, err := DecodeMatrixRequest(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got.Systems) != 2 || got.Weathers[0] != "sunny" ||
+					got.Intensities[1] != 120.5 || !got.Recovery || got.Parallel != 3 {
+					t.Fatalf("matrix request: got %+v", got)
+				}
+			}},
+		record{"matrix-header", TypeMatrixHeader,
+			func(e *Encoder) []byte { return e.MatrixHeaderFrame(MatrixHeader{Cells: 27, Key: "abc"}) },
+			func(t *testing.T, p []byte) {
+				got, err := DecodeMatrixHeader(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cells != 27 || got.Key != "abc" {
+					t.Fatalf("matrix header: got %+v", got)
+				}
+			}},
+		record{"matrix-cell", TypeMatrixCell,
+			func(e *Encoder) []byte {
+				return e.MatrixCellFrame(MatrixCell{
+					Index: 5, System: "neofog", Weather: "rainy", Intensity: 60,
+					Cached: true, Job: sampleJobs()[1],
+				})
+			},
+			func(t *testing.T, p []byte) {
+				got, err := DecodeMatrixCell(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Index != 5 || got.Weather != "rainy" || !got.Cached || got.Job.Hits != 12 {
+					t.Fatalf("matrix cell: got %+v", got)
+				}
+			}},
+		record{"matrix-done", TypeMatrixDone,
+			func(e *Encoder) []byte { return e.MatrixDoneFrame(MatrixDone{Done: 26, Failed: 1}) },
+			func(t *testing.T, p []byte) {
+				got, err := DecodeMatrixDone(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Done != 26 || got.Failed != 1 {
+					t.Fatalf("matrix done: got %+v", got)
+				}
+			}},
+		record{"result", TypeResult,
+			func(e *Encoder) []byte { return e.ResultFrame([]byte(`{"rows":[1,2,3]}`)) },
+			func(t *testing.T, p []byte) {
+				if string(p) != `{"rows":[1,2,3]}` {
+					t.Fatalf("result payload: %q", p)
+				}
+			}},
+	)
+
+	for _, rec := range records {
+		e := NewEncoder()
+		frame := append([]byte(nil), rec.frame(e)...)
+		e.Release()
+
+		typ, payload, rest, err := SplitFrame(frame)
+		if err != nil {
+			t.Fatalf("%s: SplitFrame: %v", rec.name, err)
+		}
+		if typ != rec.typ {
+			t.Fatalf("%s: type %#x, want %#x", rec.name, typ, rec.typ)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("%s: %d leftover bytes", rec.name, len(rest))
+		}
+		rec.check(t, payload)
+
+		// Stream reader agrees with the in-memory splitter.
+		rTyp, rPayload, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil || rTyp != typ || !bytes.Equal(rPayload, payload) {
+			t.Fatalf("%s: ReadFrame disagrees with SplitFrame (err %v)", rec.name, err)
+		}
+
+		// Fixed point: re-encoding the decoded record reproduces the frame.
+		if reenc, ok := reencode(typ, payload); ok && !bytes.Equal(reenc, frame) {
+			t.Fatalf("%s: re-encode differs\n got %x\nwant %x", rec.name, reenc, frame)
+		}
+	}
+}
+
+// reencode decodes a payload by type and re-frames it; ok is false for
+// types without a record decoder (TypeResult is raw bytes).
+func reencode(typ byte, payload []byte) ([]byte, bool) {
+	e := NewEncoder()
+	defer e.Release()
+	var frame []byte
+	switch typ {
+	case TypeRequest:
+		v, err := DecodeRequest(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.RequestFrame(v)
+	case TypeSubmit:
+		v, err := DecodeSubmit(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.SubmitFrame(v)
+	case TypeJob:
+		v, err := DecodeJob(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.JobFrame(v)
+	case TypeError:
+		v, err := DecodeError(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.ErrorFrame(v)
+	case TypeMatrixRequest:
+		v, err := DecodeMatrixRequest(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.MatrixRequestFrame(v)
+	case TypeMatrixHeader:
+		v, err := DecodeMatrixHeader(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.MatrixHeaderFrame(v)
+	case TypeMatrixCell:
+		v, err := DecodeMatrixCell(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.MatrixCellFrame(v)
+	case TypeMatrixDone:
+		v, err := DecodeMatrixDone(payload)
+		if err != nil {
+			return nil, false
+		}
+		frame = e.MatrixDoneFrame(v)
+	default:
+		return nil, false
+	}
+	return append([]byte(nil), frame...), true
+}
+
+func TestSplitFrameErrors(t *testing.T) {
+	e := NewEncoder()
+	good := append([]byte(nil), e.ErrorFrame(Error{Code: 400, Message: "nope"})...)
+	e.Release()
+
+	t.Run("bit flips corrupt", func(t *testing.T) {
+		for i := range good {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), good...)
+				mut[i] ^= 1 << bit
+				_, payload, _, err := SplitFrame(mut)
+				if err == nil {
+					// A flipped bit that still decodes must mean the frame
+					// decodes to something — impossible with a CRC over the
+					// whole frame unless the CRC itself collided, which a
+					// single-bit flip cannot do.
+					t.Fatalf("byte %d bit %d: single-bit flip accepted (payload %x)", i, bit, payload)
+				}
+			}
+		}
+	})
+
+	t.Run("truncations", func(t *testing.T) {
+		for n := 0; n < len(good); n++ {
+			_, _, _, err := SplitFrame(good[:n])
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("truncated to %d bytes: err %v, want ErrTruncated", n, err)
+			}
+			_, _, err = ReadFrame(bytes.NewReader(good[:n]))
+			if n == 0 {
+				if err != io.EOF {
+					t.Fatalf("empty stream: err %v, want io.EOF", err)
+				}
+			} else if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("stream truncated to %d bytes: err %v, want ErrTruncated", n, err)
+			}
+		}
+	})
+
+	t.Run("wrong version", func(t *testing.T) {
+		mut := append([]byte(nil), good...)
+		mut[0] = Version + 1
+		if _, _, _, err := SplitFrame(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("version+1: err %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("oversized length", func(t *testing.T) {
+		b := []byte{Version, TypeResult}
+		b = binary.AppendUvarint(b, MaxFrame+1)
+		if _, _, _, err := SplitFrame(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("oversized: err %v, want ErrCorrupt", err)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("oversized stream: err %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("non-minimal length", func(t *testing.T) {
+		// Re-frame the good payload with a two-byte encoding of its
+		// (small) length and a correct CRC: only strictness can reject it.
+		_, payload, _, err := SplitFrame(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := []byte{Version, TypeError, byte(len(payload)) | 0x80, 0x00}
+		b = append(b, payload...)
+		b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
+		if _, _, _, err := SplitFrame(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-minimal length: err %v, want ErrCorrupt", err)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("non-minimal length stream: err %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("trailing payload bytes", func(t *testing.T) {
+		_, payload, _, err := SplitFrame(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded := append(append([]byte(nil), payload...), 0)
+		if _, err := DecodeError(padded); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("padded record: err %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+func TestRecordDecodeStrictness(t *testing.T) {
+	t.Run("non-minimal varint in record", func(t *testing.T) {
+		// Error{Code:1, Message:""} encodes as [02 00]; [82 00 00] carries
+		// the same code in non-minimal form.
+		if _, err := DecodeError([]byte{0x82, 0x00, 0x00}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("bad bool byte", func(t *testing.T) {
+		if _, err := DecodeSubmit(append(payloadOf(t, func(e *Encoder) []byte {
+			return e.JobFrame(Job{})
+		}), 2, 0)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("extreme time stays a fixed point", func(t *testing.T) {
+		// Even a hostile UnixNano (here the int64-overflowed nanoseconds
+		// of the zero instant) must decode to a time that re-encodes to
+		// the same varint with the same presence byte.
+		var b []byte
+		b = appendString(b, "")                            // ID
+		b = appendString(b, "")                            // Key
+		b = appendString(b, "")                            // Kind
+		b = appendString(b, "")                            // Status
+		b = append(b, 1)                                   // SubmittedAt present...
+		b = binary.AppendVarint(b, time.Time{}.UnixNano()) // ...with wrapped nanos
+		b = append(b, 0, 0, 0)                             // StartedAt/FinishedAt/Deadline absent
+		b = appendString(b, "")                            // Error
+		b = appendBytes(b, nil)                            // Result
+		b = binary.AppendVarint(b, 0)
+		j, err := DecodeJob(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJob(nil, j); !bytes.Equal(got, b) {
+			t.Fatalf("re-encode differs\n got %x\nwant %x", got, b)
+		}
+	})
+	t.Run("slice length beyond payload", func(t *testing.T) {
+		var b []byte
+		b = binary.AppendUvarint(b, 1<<40) // Systems count, nothing behind it
+		if _, err := DecodeMatrixRequest(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("err %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// payloadOf runs one frame method and returns a copy of its payload.
+func payloadOf(t *testing.T, frame func(e *Encoder) []byte) []byte {
+	t.Helper()
+	e := NewEncoder()
+	defer e.Release()
+	_, payload, _, err := SplitFrame(frame(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), payload...)
+}
+
+// TestMultiFrameStream checks that concatenated frames split and read
+// back in order — the matrix stream shape.
+func TestMultiFrameStream(t *testing.T) {
+	e := NewEncoder()
+	var stream []byte
+	stream = append(stream, e.MatrixHeaderFrame(MatrixHeader{Cells: 2, Key: "k"})...)
+	stream = append(stream, e.MatrixCellFrame(MatrixCell{Index: 0, System: "nos-vp"})...)
+	stream = append(stream, e.MatrixCellFrame(MatrixCell{Index: 1, System: "neofog"})...)
+	stream = append(stream, e.MatrixDoneFrame(MatrixDone{Done: 2})...)
+	e.Release()
+
+	wantTypes := []byte{TypeMatrixHeader, TypeMatrixCell, TypeMatrixCell, TypeMatrixDone}
+	rest := stream
+	for i, want := range wantTypes {
+		var typ byte
+		var err error
+		typ, _, rest, err = SplitFrame(rest)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != want {
+			t.Fatalf("frame %d: type %#x, want %#x", i, typ, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes after final frame", len(rest))
+	}
+
+	r := bytes.NewReader(stream)
+	for i, want := range wantTypes {
+		typ, _, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("stream frame %d: %v", i, err)
+		}
+		if typ != want {
+			t.Fatalf("stream frame %d: type %#x, want %#x", i, typ, want)
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("after final frame: err %v, want io.EOF", err)
+	}
+}
+
+func TestWriteFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeResult, []byte("body")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != TypeResult || string(payload) != "body" {
+		t.Fatalf("got type %#x payload %q err %v", typ, payload, err)
+	}
+}
