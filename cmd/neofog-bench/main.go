@@ -22,6 +22,14 @@
 //	neofog-bench -serve -serve-target http://127.0.0.1:8000  # aim at a live cluster
 //	neofog-bench -serve -serve-baseline BENCH_SERVE_BASELINE.json
 //
+// A multi-tenant run labels the trace with a tenant mix, boots the
+// cluster shards with a QoS policy, and (optionally) fails unless each
+// tenant's served share of completed jobs tracks its configured weight
+// share — the CI fairness smoke:
+//
+//	neofog-bench -serve -serve-tenants "gold:3:48,bronze:1:48" \
+//	  -serve-tenant-mix "gold:1,bronze:1" -serve-share-tolerance 0.15
+//
 // The -wire-encode / -wire-decode / -wire-extract-result flags are
 // stdin→stdout codec helpers so shell scripts can drive the binary
 // transport through curl; see wire.go.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"neofog/internal/loadgen"
+	"neofog/internal/qos"
 	"neofog/internal/router"
 	"neofog/internal/serve"
 )
@@ -32,6 +33,9 @@ type serveFlags struct {
 	out       *string
 	baseline  *string
 	tolerance *float64
+	tenants   *string
+	tenantMix *string
+	shareTol  *float64
 }
 
 func registerServeFlags() *serveFlags {
@@ -53,6 +57,9 @@ func registerServeFlags() *serveFlags {
 		out:       flag.String("serve-out", "BENCH_SERVE.json", "write the serve bench report here ('' = stdout only)"),
 		baseline:  flag.String("serve-baseline", "", "gate against this BENCH_SERVE baseline; a missing file skips the gate"),
 		tolerance: flag.Float64("serve-tolerance", 0.10, "allowed regression fraction for jobs/s (down) and p99 (up)"),
+		tenants:   flag.String("serve-tenants", "", `per-shard QoS policy, "name:weight:depth:rate" entries (see neofog-serve -tenants); ignored with -serve-target`),
+		tenantMix: flag.String("serve-tenant-mix", "", `tenant traffic mix, "name:share[:class]" entries; empty keeps the trace unlabelled`),
+		shareTol:  flag.Float64("serve-share-tolerance", 0, "when positive, fail unless each weighted tenant's served share is within this absolute fraction of its weight share (needs -serve-tenants and -serve-tenant-mix)"),
 	}
 }
 
@@ -73,6 +80,17 @@ func runServe(f *serveFlags) error {
 	default:
 		return fmt.Errorf("-serve-transport %q: want json, binary, or both", *f.transport)
 	}
+	tenantCfg, err := qos.ParseTenants(*f.tenants)
+	if err != nil {
+		return err
+	}
+	mix, err := loadgen.ParseTenantMix(*f.tenantMix)
+	if err != nil {
+		return err
+	}
+	if *f.shareTol > 0 && (len(mix) == 0 || len(tenantCfg) == 0) {
+		return fmt.Errorf("-serve-share-tolerance needs both -serve-tenants (the policy) and -serve-tenant-mix (the traffic)")
+	}
 	spec := loadgen.TraceSpec{
 		Seed:        *f.seed,
 		QPS:         *f.qps,
@@ -81,6 +99,7 @@ func runServe(f *serveFlags) error {
 		HotFraction: *f.hotFrac,
 		Nodes:       *f.nodes,
 		Rounds:      *f.rounds,
+		Tenants:     mix,
 	}
 	schedule, err := loadgen.BuildSchedule(spec)
 	if err != nil {
@@ -102,7 +121,7 @@ func runServe(f *serveFlags) error {
 		shards := 0
 		if target == "" {
 			cluster, err := loadgen.StartCluster(*f.shards,
-				serve.Config{Workers: *f.workers, QueueDepth: *f.queue},
+				serve.Config{Workers: *f.workers, QueueDepth: *f.queue, Tenants: tenantCfg},
 				router.Config{})
 			if err != nil {
 				return loadgen.Summary{}, err
@@ -155,6 +174,26 @@ func runServe(f *serveFlags) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *f.out)
+	}
+
+	// The fairness smoke runs on the JSON replay's Measured half, after
+	// the report is on disk so a failing run still leaves its evidence.
+	if *f.shareTol > 0 {
+		weights := map[string]float64{}
+		for _, tc := range tenantCfg {
+			w := tc.Weight
+			if w <= 0 {
+				w = 1 // the scheduler's own default for omitted weights
+			}
+			weights[tc.Name] = w
+		}
+		if violations := loadgen.FairnessCheck(sum.Measured, weights, *f.shareTol); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, v)
+			}
+			return fmt.Errorf("%d fairness violation(s)", len(violations))
+		}
+		fmt.Printf("served shares within %.2f of weight shares\n", *f.shareTol)
 	}
 
 	if *f.baseline != "" {

@@ -35,6 +35,18 @@
 //	neofog-serve -require-disk                            # /readyz 503s while disk degraded
 //	neofog-serve -access-log                              # structured request log on stderr
 //
+// Multi-tenant QoS (see DESIGN.md "Multi-tenant QoS"):
+//
+//	neofog-serve -tenants "gold:3:64:10,bronze:1:16:2"    # weighted-fair shares + admission caps
+//	neofog-serve -assumed-job-seconds 0.5                 # cold-start prior for deadline admission
+//
+// Each -tenants entry is name:weight:depth:rate (weight, depth, and
+// rate optional right to left). Requests pick their tenant with
+// X-Neofog-Tenant or ?tenant= and their class (interactive or bulk)
+// with X-Neofog-Class or ?class=; unknown tenants fold into "default".
+// Tenants over their depth cap or rate limit get a 429 carrying
+// X-Neofog-Tenant and a per-tenant Retry-After.
+//
 // A dying disk under -cache-dir trips a circuit breaker: the daemon
 // degrades to memory-only serving (still byte-identical results) and
 // auto-recovers when probes succeed, instead of failing requests or
@@ -55,6 +67,7 @@ import (
 	"syscall"
 	"time"
 
+	"neofog/internal/qos"
 	"neofog/internal/serve"
 	"neofog/internal/version"
 )
@@ -86,6 +99,8 @@ func run() error {
 		breakerProbe    = flag.Duration("breaker-probe", 5*time.Second, "how long the breaker stays open before probing the disk again")
 		requireDisk     = flag.Bool("require-disk", false, "report not-ready on /readyz while the disk breaker is open")
 		accessLog       = flag.Bool("access-log", false, "log one structured line per request on stderr")
+		tenants         = flag.String("tenants", "", `multi-tenant QoS policy: comma-separated "name:weight:depth:rate" entries (weight/depth/rate optional; empty = single unlimited default tenant)`)
+		assumedJob      = flag.Float64("assumed-job-seconds", 0, "deadline admission's cold-start service-time prior, before any job has finished (0 = never reject cold)")
 
 		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "http server ReadHeaderTimeout (slowloris guard)")
 		readTimeout       = flag.Duration("read-timeout", 60*time.Second, "http server ReadTimeout")
@@ -100,21 +115,27 @@ func run() error {
 	}
 
 	logger := log.New(os.Stderr, "neofog-serve: ", log.LstdFlags)
+	tenantCfg, err := qos.ParseTenants(*tenants)
+	if err != nil {
+		return err
+	}
 	cfg := serve.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheEntries:     *cacheEntries,
-		CacheIndexPath:   *cacheIndex,
-		CacheDir:         *cacheDir,
-		CacheBudget:      *cacheBudget,
-		DefaultDeadline:  *defaultDeadline,
-		MaxDeadline:      *maxDeadline,
-		PoisonRetries:    *poisonRetries,
-		PoisonTTL:        *poisonTTL,
-		BreakerThreshold: *breakerThresh,
-		BreakerProbe:     *breakerProbe,
-		RequireDisk:      *requireDisk,
-		ErrorLog:         logger,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		Tenants:           tenantCfg,
+		AssumedJobSeconds: *assumedJob,
+		CacheEntries:      *cacheEntries,
+		CacheIndexPath:    *cacheIndex,
+		CacheDir:          *cacheDir,
+		CacheBudget:       *cacheBudget,
+		DefaultDeadline:   *defaultDeadline,
+		MaxDeadline:       *maxDeadline,
+		PoisonRetries:     *poisonRetries,
+		PoisonTTL:         *poisonTTL,
+		BreakerThreshold:  *breakerThresh,
+		BreakerProbe:      *breakerProbe,
+		RequireDisk:       *requireDisk,
+		ErrorLog:          logger,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stderr

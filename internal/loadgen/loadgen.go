@@ -44,6 +44,49 @@ const (
 	TransportBinary = "binary"
 )
 
+// TenantShare is one tenant's slice of a multi-tenant trace: requests
+// are labelled with Name (and optionally Class) in proportion to Share,
+// normalized over the whole mix.
+type TenantShare struct {
+	Name string `json:"name"`
+	// Share is the tenant's relative draw weight; 2:1 shares mean twice
+	// the arrivals, whatever the absolute numbers are.
+	Share float64 `json:"share"`
+	// Class, when non-empty, labels the tenant's submissions with
+	// X-Neofog-Class ("interactive" or "bulk").
+	Class string `json:"class,omitempty"`
+}
+
+// ParseTenantMix parses a "name:share[:class]" comma-separated traffic
+// mix, e.g. "gold:3,bronze:1" or "batch:1:bulk,ui:4:interactive".
+func ParseTenantMix(s string) ([]TenantShare, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var mix []TenantShare
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if parts[0] == "" {
+			return nil, fmt.Errorf("loadgen: tenant mix entry %q has no name", entry)
+		}
+		ts := TenantShare{Name: parts[0], Share: 1}
+		if len(parts) > 1 && parts[1] != "" {
+			if _, err := fmt.Sscanf(parts[1], "%g", &ts.Share); err != nil || !(ts.Share > 0) {
+				return nil, fmt.Errorf("loadgen: tenant mix entry %q: share must be a positive number", entry)
+			}
+		}
+		if len(parts) > 2 {
+			ts.Class = parts[2]
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("loadgen: tenant mix entry %q: want name:share[:class]", entry)
+		}
+		mix = append(mix, ts)
+	}
+	return mix, nil
+}
+
 // TraceSpec is the seeded recipe for one load trace. The zero value is
 // not useful; Seed, QPS and Duration are required, the mix fields
 // default to a cache-friendly 80/20 hot/cold blend over small
@@ -62,9 +105,16 @@ type TraceSpec struct {
 	// requests draw uniformly from this many distinct configurations.
 	HotKeys int `json:"hot_keys"`
 	// HotFraction is the probability a request draws from the hot set
-	// (default 0.8); the rest are cold — unique, never-repeated configs
-	// that can only miss.
+	// (default 0.8; negative means 0 — an all-cold trace where every
+	// request is unique work); the rest are cold — unique,
+	// never-repeated configs that can only miss.
 	HotFraction float64 `json:"hot_fraction"`
+	// Tenants, when non-empty, labels each arrival with a tenant drawn
+	// in proportion to the shares (and the tenant's class, if any). The
+	// draws come from their own seeded RNG, so adding a mix to an
+	// existing spec relabels the identical arrival sequence — offsets
+	// and keys do not move.
+	Tenants []TenantShare `json:"tenants,omitempty"`
 	// Nodes and Rounds size each simulated job (defaults 4 and 30 —
 	// small enough that the serve layer, not the simulator, is what is
 	// being measured).
@@ -76,8 +126,10 @@ func (s TraceSpec) withDefaults() TraceSpec {
 	if s.HotKeys <= 0 {
 		s.HotKeys = 8
 	}
-	if s.HotFraction <= 0 {
+	if s.HotFraction == 0 {
 		s.HotFraction = 0.8
+	} else if s.HotFraction < 0 {
+		s.HotFraction = 0
 	}
 	if s.Nodes <= 0 {
 		s.Nodes = 4
@@ -101,6 +153,8 @@ type ScheduledRequest struct {
 	BinBody []byte // the same request as one wire frame, for the binary transport
 	Key     string // canonical content address (what the cluster shards on)
 	Hot     bool
+	Tenant  string // X-Neofog-Tenant label ("" = unlabelled, the default tenant)
+	Class   string // X-Neofog-Class label ("" = the endpoint default)
 }
 
 // BuildSchedule expands a spec into its full arrival schedule. The
@@ -113,6 +167,31 @@ func BuildSchedule(spec TraceSpec) ([]ScheduledRequest, error) {
 		return nil, fmt.Errorf("loadgen: trace needs positive QPS and duration (got %v, %v)", spec.QPS, spec.Duration)
 	}
 	rng := rand.New(rand.NewSource(spec.Seed))
+	// Tenant draws spend their own RNG: the arrival/key stream above
+	// consumes the main one in the exact pre-tenancy order, so the same
+	// seed keeps producing the same offsets and keys whether or not a
+	// mix is configured.
+	trng := rand.New(rand.NewSource(spec.Seed ^ tenantDrawSalt))
+	var shareSum float64
+	for _, ts := range spec.Tenants {
+		if ts.Name == "" || !(ts.Share > 0) {
+			return nil, fmt.Errorf("loadgen: tenant mix entries need a name and a positive share (got %+v)", ts)
+		}
+		shareSum += ts.Share
+	}
+	drawTenant := func() (string, string) {
+		if len(spec.Tenants) == 0 {
+			return "", ""
+		}
+		d := trng.Float64() * shareSum
+		for _, ts := range spec.Tenants {
+			if d -= ts.Share; d < 0 {
+				return ts.Name, ts.Class
+			}
+		}
+		last := spec.Tenants[len(spec.Tenants)-1]
+		return last.Name, last.Class
+	}
 	enc := wire.NewEncoder()
 	defer enc.Release()
 	var out []ScheduledRequest
@@ -144,15 +223,22 @@ func BuildSchedule(spec TraceSpec) ([]ScheduledRequest, error) {
 		if err != nil {
 			return nil, err
 		}
+		tenant, class := drawTenant()
 		out = append(out, ScheduledRequest{
 			At:      at,
 			Body:    body,
 			BinBody: append([]byte(nil), enc.RequestFrame(req)...),
 			Key:     key,
 			Hot:     hot,
+			Tenant:  tenant,
+			Class:   class,
 		})
 	}
 }
+
+// tenantDrawSalt decorrelates the tenant-draw RNG from the arrival/key
+// RNG (both are seeded from Seed).
+const tenantDrawSalt = 0x7e64a27f19c3b5d1
 
 // ScheduleDigest fingerprints a schedule: the SHA-256 over every
 // arrival's offset, key, and temperature. Two runs replaying the same
@@ -161,7 +247,13 @@ func BuildSchedule(spec TraceSpec) ([]ScheduledRequest, error) {
 func ScheduleDigest(schedule []ScheduledRequest) string {
 	h := sha256.New()
 	for _, sr := range schedule {
-		fmt.Fprintf(h, "%d %s %t\n", sr.At.Nanoseconds(), sr.Key, sr.Hot)
+		// Untenanted lines keep the historical format, so digests of
+		// pre-tenancy traces (and committed baselines) are unchanged.
+		if sr.Tenant == "" && sr.Class == "" {
+			fmt.Fprintf(h, "%d %s %t\n", sr.At.Nanoseconds(), sr.Key, sr.Hot)
+		} else {
+			fmt.Fprintf(h, "%d %s %t %s %s\n", sr.At.Nanoseconds(), sr.Key, sr.Hot, sr.Tenant, sr.Class)
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -205,6 +297,18 @@ type Measured struct {
 	// in-process bench cluster this spans client and server side both, so
 	// a leaner codec shows up no matter which side it saves on.
 	AllocsPerRequest float64 `json:"allocs_per_request"`
+	// Tenants breaks the envelope down per tenant label when the trace
+	// carried a mix; absent (omitted) on untenanted runs, so pre-tenancy
+	// reports and baselines keep their exact shape.
+	Tenants map[string]TenantMeasured `json:"tenants,omitempty"`
+}
+
+// TenantMeasured is one tenant's slice of the measured envelope.
+type TenantMeasured struct {
+	Completed   int     `json:"completed"`
+	Rejected429 int     `json:"rejected_429"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+	P99Ms       float64 `json:"p99_ms"`
 }
 
 // Summary is the BENCH_SERVE.json schema: the deterministic trace
@@ -363,7 +467,11 @@ dispatch:
 		sum.Measured.AllocsPerRequest = float64(ms1.Mallocs-ms0.Mallocs) / float64(len(schedule))
 	}
 	var latencies []float64
-	for _, o := range outcomes {
+	tenantLat := map[string][]float64{}
+	tenants := map[string]TenantMeasured{}
+	for i, o := range outcomes {
+		tenant := schedule[i].Tenant
+		tm := tenants[tenant]
 		sum.Measured.BytesTx += o.tx
 		sum.Measured.BytesRx += o.rx
 		switch {
@@ -371,17 +479,23 @@ dispatch:
 			sum.Measured.Dropped++
 		case o.rejected:
 			sum.Measured.Rejected429++
+			tm.Rejected429++
 		case o.err:
 			sum.Measured.Errors++
 		case o.completed:
 			sum.Measured.Completed++
+			tm.Completed++
 			latencies = append(latencies, o.latencyMs)
+			tenantLat[tenant] = append(tenantLat[tenant], o.latencyMs)
 			if o.cached {
 				sum.Measured.CacheHits++
 			}
 			if o.deduped {
 				sum.Measured.Deduped++
 			}
+		}
+		if tenant != "" {
+			tenants[tenant] = tm
 		}
 	}
 	elapsed := time.Since(start)
@@ -401,6 +515,18 @@ dispatch:
 	sum.Measured.P50Ms = quantile(latencies, 0.50)
 	sum.Measured.P99Ms = quantile(latencies, 0.99)
 	sum.Measured.P999Ms = quantile(latencies, 0.999)
+	if len(tenants) > 0 {
+		for name, tm := range tenants {
+			if sum.Measured.ElapsedS > 0 {
+				tm.JobsPerSec = float64(tm.Completed) / sum.Measured.ElapsedS
+			}
+			lat := tenantLat[name]
+			sort.Float64s(lat)
+			tm.P99Ms = quantile(lat, 0.99)
+			tenants[name] = tm
+		}
+		sum.Measured.Tenants = tenants
+	}
 	return sum, runErr
 }
 
@@ -456,6 +582,7 @@ func doOne(ctx context.Context, opts Opts, baseURL string, sr ScheduledRequest) 
 		return outcome{err: true}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	setQoSHeaders(req, sr)
 	resp, err := opts.Client.Do(req)
 	if err != nil {
 		return outcome{err: true}
@@ -531,6 +658,7 @@ func doOneBinary(ctx context.Context, opts Opts, baseURL string, sr ScheduledReq
 		return outcome{err: true}
 	}
 	req.Header.Set("Content-Type", wire.ContentType)
+	setQoSHeaders(req, sr)
 	resp, err := opts.Client.Do(req)
 	if err != nil {
 		return outcome{err: true}
@@ -647,6 +775,17 @@ func getBody(ctx context.Context, opts Opts, url string) ([]byte, int, error) {
 
 func msSince(t time.Time) float64 { return float64(time.Since(t)) / float64(time.Millisecond) }
 
+// setQoSHeaders labels one submission with the arrival's tenant and
+// class, when the trace carries them.
+func setQoSHeaders(req *http.Request, sr ScheduledRequest) {
+	if sr.Tenant != "" {
+		req.Header.Set(serve.TenantHeader, sr.Tenant)
+	}
+	if sr.Class != "" {
+		req.Header.Set(serve.ClassHeader, sr.Class)
+	}
+}
+
 // WriteJSON renders a summary with stable formatting (indented, one
 // trailing newline) — the BENCH_SERVE.json on-disk form.
 func WriteJSON(w io.Writer, sum Summary) error {
@@ -687,6 +826,62 @@ func Gate(current, baseline Summary, tol float64) []string {
 				"p99 %.2fms exceeds baseline %.2fms by more than %.0f%%", cur, base, tol*100))
 		}
 	}
+	// Per-tenant gates follow the zero-baseline convention: a baseline
+	// without tenant fields (every report committed before multi-tenant
+	// QoS existed) gates nothing here, and a zero value in the baseline
+	// skips that bound — so adding a mix never fails CI until a tenanted
+	// baseline is deliberately committed.
+	var names []string
+	for name := range baseline.Measured.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := baseline.Measured.Tenants[name]
+		cur := current.Measured.Tenants[name]
+		if base.JobsPerSec > 0 && cur.JobsPerSec < base.JobsPerSec*(1-tol) {
+			violations = append(violations, fmt.Sprintf(
+				"tenant %s: jobs/s %.1f fell more than %.0f%% below baseline %.1f",
+				name, cur.JobsPerSec, tol*100, base.JobsPerSec))
+		}
+		if base.P99Ms > 0 && cur.P99Ms > base.P99Ms*(1+tol) {
+			violations = append(violations, fmt.Sprintf(
+				"tenant %s: p99 %.2fms exceeds baseline %.2fms by more than %.0f%%",
+				name, cur.P99Ms, base.P99Ms, tol*100))
+		}
+	}
+	return violations
+}
+
+// FairnessCheck compares each tenant's share of completed jobs against
+// its configured weight share, returning one message per tenant whose
+// served share strays more than tol (an absolute share fraction) from
+// the weighted-fair target. It only speaks to saturated runs: under
+// light load every tenant is served at its arrival rate and shares
+// track the mix, not the weights.
+func FairnessCheck(m Measured, weights map[string]float64, tol float64) []string {
+	var total int
+	var weightSum float64
+	var names []string
+	for name, w := range weights {
+		names = append(names, name)
+		weightSum += w
+		total += m.Tenants[name].Completed
+	}
+	if total == 0 || weightSum <= 0 {
+		return []string{"fairness: no completed jobs for the weighted tenants"}
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		got := float64(m.Tenants[name].Completed) / float64(total)
+		want := weights[name] / weightSum
+		if diff := got - want; diff > tol || diff < -tol {
+			violations = append(violations, fmt.Sprintf(
+				"fairness: tenant %s served share %.3f, want %.3f ± %.3f (weight %g of %g)",
+				name, got, want, tol, weights[name], weightSum))
+		}
+	}
 	return violations
 }
 
@@ -716,6 +911,18 @@ func FormatSummary(sum Summary) string {
 		out += fmt.Sprintf(
 			"binary vs json: bytes %.1f%% smaller, allocs %.1f%% fewer, throughput ratio %.2f\n",
 			c.BytesReduction*100, c.AllocsReduction*100, c.JobsPerSecRatio)
+	}
+	if len(m.Tenants) > 0 {
+		var names []string
+		for name := range m.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tm := m.Tenants[name]
+			out += fmt.Sprintf("tenant %s: completed=%d rejected429=%d jobs/s=%.1f p99=%.2fms\n",
+				name, tm.Completed, tm.Rejected429, tm.JobsPerSec, tm.P99Ms)
+		}
 	}
 	return out + fmt.Sprintf("schedule=%s\n", sum.Trace.ScheduleSHA256[:16])
 }

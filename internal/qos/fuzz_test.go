@@ -1,0 +1,37 @@
+package qos
+
+import "testing"
+
+// FuzzTenantConfig holds the -tenants flag grammar to a fixed point:
+// anything ParseTenants accepts must survive FormatTenants → reparse →
+// reformat byte-identically, and must build a scheduler. Anything it
+// rejects must not crash.
+func FuzzTenantConfig(f *testing.F) {
+	f.Add("")
+	f.Add("gold")
+	f.Add("gold:3")
+	f.Add("gold:3:64:2.5,bronze:1:16:0.5")
+	f.Add("gold::32,bronze:::4")
+	f.Add(" gold:2 , bronze ")
+	f.Add("gold:0.000001:1:1000000")
+	f.Add("a:1,b:1,a:1")
+	f.Add("gold:NaN")
+	f.Add("gold:1:2:3:4")
+	f.Fuzz(func(t *testing.T, in string) {
+		tenants, err := ParseTenants(in)
+		if err != nil {
+			return
+		}
+		formatted := FormatTenants(tenants)
+		reparsed, err := ParseTenants(formatted)
+		if err != nil {
+			t.Fatalf("FormatTenants produced unparsable %q from %q: %v", formatted, in, err)
+		}
+		if again := FormatTenants(reparsed); again != formatted {
+			t.Fatalf("format not a fixed point for %q: %q then %q", in, formatted, again)
+		}
+		if _, err := NewScheduler[int](tenants); err != nil {
+			t.Fatalf("parsed config %q rejected by NewScheduler: %v", in, err)
+		}
+	})
+}

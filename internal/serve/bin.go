@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"neofog/internal/qos"
 	"neofog/internal/wire"
 )
 
@@ -87,7 +88,13 @@ func (s *Server) handleBinSubmit(w http.ResponseWriter, r *http.Request) {
 		writeWireError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, outcome, retryAfter := s.submit(norm, key, deadline)
+	tenant, class, err := s.parseTenantClass(r, qos.Interactive)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set(TenantHeader, tenant)
+	snap, outcome, retryAfter := s.submit(norm, key, deadline, tenant, class)
 	if snap.ID != "" {
 		w.Header().Set(jobHeader, snap.ID)
 	}
@@ -99,6 +106,14 @@ func (s *Server) handleBinSubmit(w http.ResponseWriter, r *http.Request) {
 	case outcomeQueueFull:
 		setRetryAfter(w, retryAfter)
 		writeWireError(w, http.StatusTooManyRequests, "queue full (depth %d): retry later", s.cfg.QueueDepth)
+	case outcomeTenantDepth:
+		setRetryAfter(w, retryAfter)
+		writeWireError(w, http.StatusTooManyRequests,
+			"tenant %q queue full (depth %d): retry later", tenant, s.sched.Tenant(tenant).Depth)
+	case outcomeTenantRate:
+		setRetryAfter(w, retryAfter)
+		writeWireError(w, http.StatusTooManyRequests,
+			"tenant %q rate limited: retry after %ds", tenant, ceilSeconds(retryAfter))
 	case outcomeDeadline:
 		setRetryAfter(w, retryAfter)
 		writeWireError(w, http.StatusTooManyRequests,

@@ -109,6 +109,14 @@ type Client struct {
 	// TransportBinary. Run's contract is identical on both; the returned
 	// result bytes are byte-for-byte the same.
 	Transport string
+	// Tenant, when non-empty, labels every request with X-Neofog-Tenant
+	// so the server (or a router in front of it) applies that tenant's
+	// QoS policy — weighted-fair share, depth cap, rate limit. Tenants
+	// the server does not know fold into "default".
+	Tenant string
+	// Class, when non-empty, labels submissions with X-Neofog-Class
+	// ("interactive" or "bulk"); empty keeps each endpoint's default.
+	Class string
 	// Counters, when non-nil, observes every HTTP exchange's body sizes
 	// (request bytes sent, response bytes received), retries included —
 	// the load harness's bytes-on-wire hook. Must be safe for concurrent
@@ -219,6 +227,12 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", contentType)
+		}
+		if c.Tenant != "" {
+			req.Header.Set(serve.TenantHeader, c.Tenant)
+		}
+		if c.Class != "" {
+			req.Header.Set(serve.ClassHeader, c.Class)
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
@@ -500,6 +514,9 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(event string, da
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/stream", nil)
 	if err != nil {
 		return &APIError{Message: err.Error()}
+	}
+	if c.Tenant != "" {
+		req.Header.Set(serve.TenantHeader, c.Tenant)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

@@ -1,0 +1,83 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"neofog/internal/serve"
+)
+
+// TestTenantClassHeaders verifies the Tenant and Class knobs label
+// every exchange a Run makes — submit, poll, result — and that an
+// unset knob sends no header at all (the server's defaults stay in
+// charge).
+func TestTenantClassHeaders(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string][2]string{} // path → {tenant, class}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		seen[r.Method+" "+r.URL.Path] = [2]string{
+			r.Header.Get(serve.TenantHeader), r.Header.Get(serve.ClassHeader),
+		}
+		mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/jobs":
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"job":{"id":"j-1","status":"queued"}}`))
+		case "/v1/jobs/j-1":
+			w.Write([]byte(`{"id":"j-1","status":"done"}`))
+		case "/v1/jobs/j-1/result":
+			w.Write([]byte(`{"ok":true}` + "\n"))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL, Tenant: "gold", Class: "bulk", PollInterval: 1}
+	if _, err := c.Run(context.Background(), serve.Request{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, key := range []string{"POST /v1/jobs", "GET /v1/jobs/j-1", "GET /v1/jobs/j-1/result"} {
+		got, ok := seen[key]
+		if !ok {
+			t.Fatalf("no %s exchange recorded (saw %v)", key, seen)
+		}
+		if got[0] != "gold" || got[1] != "bulk" {
+			t.Errorf("%s carried tenant %q class %q, want gold/bulk", key, got[0], got[1])
+		}
+	}
+}
+
+// TestNoTenantNoHeader pins the default: a zero-value client adds
+// neither QoS header, so old clients against old servers exchange
+// byte-identical requests.
+func TestNoTenantNoHeader(t *testing.T) {
+	var gotTenant, gotClass bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Header[serve.TenantHeader]; ok {
+			gotTenant = true
+		}
+		if _, ok := r.Header[serve.ClassHeader]; ok {
+			gotClass = true
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		w.Write([]byte(`{"job":{"id":"j-1","status":"queued"},"cached":true}`))
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseURL: ts.URL}
+	if _, err := c.Submit(context.Background(), serve.Request{}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if gotTenant || gotClass {
+		t.Fatalf("zero-value client sent QoS headers (tenant=%v class=%v)", gotTenant, gotClass)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"neofog"
+	"neofog/internal/qos"
 	"neofog/internal/version"
 )
 
@@ -19,6 +20,45 @@ const deadlineHeader = "X-Neofog-Deadline"
 // jobHeader carries the job ID on submission responses, so the access
 // log (and scripts) can correlate without parsing bodies.
 const jobHeader = "X-Neofog-Job"
+
+// TenantHeader carries the submission's QoS tenant identity (the
+// ?tenant= query parameter is the alternative) and echoes the resolved
+// tenant on every submission response — including the differentiated
+// 429s, where it tells the client whose budget ran out. Exported so the
+// client and router name the same header.
+const TenantHeader = "X-Neofog-Tenant"
+
+// ClassHeader selects the scheduling class, "interactive" or "bulk"
+// (?class= is the alternative). Absent, single submissions default to
+// interactive and matrix cells to bulk.
+const ClassHeader = "X-Neofog-Class"
+
+// parseTenantClass extracts a submission's tenant identity and
+// scheduling class. The tenant comes back resolved: unknown and empty
+// names fold into the default tenant, so the echoed header always names
+// a configured tenant. def is the endpoint's class default.
+func (s *Server) parseTenantClass(r *http.Request, def qos.Class) (string, qos.Class, error) {
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = r.Header.Get(TenantHeader)
+	}
+	tenant = s.sched.Resolve(tenant)
+	class := def
+	if raw := r.URL.Query().Get("class"); raw != "" {
+		c, err := qos.ParseClass(raw)
+		if err != nil {
+			return "", 0, err
+		}
+		class = c
+	} else if raw := r.Header.Get(ClassHeader); raw != "" {
+		c, err := qos.ParseClass(raw)
+		if err != nil {
+			return "", 0, err
+		}
+		class = c
+	}
+	return tenant, class, nil
+}
 
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -151,7 +191,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	snap, outcome, retryAfter := s.submit(norm, key, deadline)
+	tenant, class, err := s.parseTenantClass(r, qos.Interactive)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set(TenantHeader, tenant)
+	snap, outcome, retryAfter := s.submit(norm, key, deadline, tenant, class)
 	if snap.ID != "" {
 		w.Header().Set(jobHeader, snap.ID)
 	}
@@ -161,6 +207,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case outcomeQueueFull:
 		setRetryAfter(w, retryAfter)
 		writeError(w, http.StatusTooManyRequests, "queue full (depth %d): retry later", s.cfg.QueueDepth)
+	case outcomeTenantDepth:
+		setRetryAfter(w, retryAfter)
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q queue full (depth %d): retry later", tenant, s.sched.Tenant(tenant).Depth)
+	case outcomeTenantRate:
+		setRetryAfter(w, retryAfter)
+		writeError(w, http.StatusTooManyRequests,
+			"tenant %q rate limited: retry after %ds", tenant, ceilSeconds(retryAfter))
 	case outcomeDeadline:
 		setRetryAfter(w, retryAfter)
 		writeError(w, http.StatusTooManyRequests,
@@ -338,7 +392,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Revision: version.Revision(),
 		Workers:  s.cfg.Workers,
 		Disk:     s.diskStateLocked(),
-		Queue:    queueHealth{Depth: len(s.queue), Capacity: s.cfg.QueueDepth},
+		Queue:    queueHealth{Depth: s.sched.Len(), Capacity: s.cfg.QueueDepth},
 		Jobs:     s.countsLocked(),
 	}
 	draining := s.draining
@@ -396,7 +450,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		breakerState = float64(s.store.brk.state)
 	}
 	gauges := []gauge{
-		{"queue_depth", "Jobs waiting for a worker.", float64(len(s.queue))},
+		{"queue_depth", "Jobs waiting for a worker.", float64(s.sched.Len())},
 		{"queue_capacity", "Queue depth bound; submissions beyond it get 429.", float64(s.cfg.QueueDepth)},
 		{"jobs_running", "Jobs currently executing.", float64(s.running)},
 		{"workers", "Worker-pool width.", float64(s.cfg.Workers)},
@@ -409,9 +463,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"poisoned_keys", "Job keys currently quarantined after panics.", float64(len(s.poisoned))},
 		{"draining", "1 while draining (new submissions rejected).", boolGauge(s.draining)},
 	}
+	tenants := s.sched.Tenants()
+	rows := make([]tenantRow, len(tenants))
+	for i, tc := range tenants {
+		rows[i] = tenantRow{name: tc.Name, weight: tc.Weight, queued: s.sched.TenantLen(tc.Name)}
+	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writePrometheus(w, gauges)
+	s.metrics.writePrometheus(w, gauges, rows)
 }
 
 func boolGauge(b bool) float64 {

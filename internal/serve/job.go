@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"neofog"
+	"neofog/internal/qos"
 	"neofog/internal/wire"
 )
 
@@ -216,6 +217,8 @@ type job struct {
 	key         string
 	kind        string
 	req         Request
+	tenant      string    // resolved QoS tenant the job was admitted as
+	class       qos.Class // scheduling class it was queued under
 	status      string
 	submittedAt time.Time
 	startedAt   time.Time
@@ -244,6 +247,7 @@ func warmJob(e indexEntry) *job {
 		id:          e.ID,
 		key:         e.Key,
 		kind:        e.Kind,
+		tenant:      qos.DefaultTenant, // tenancy is not persisted; warmed results belong to nobody
 		status:      StatusDone,
 		submittedAt: e.SubmittedAt,
 		startedAt:   e.StartedAt,

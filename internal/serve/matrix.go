@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"neofog"
+	"neofog/internal/qos"
 	"neofog/internal/wire"
 )
 
@@ -133,6 +134,15 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Matrix cells default to the bulk class: a sweep is throughput
+	// work, and classing it bulk is what keeps a big batch from camping
+	// in front of interactive submissions.
+	tenant, class, err := s.parseTenantClass(r, qos.Bulk)
+	if err != nil {
+		fail(http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set(TenantHeader, tenant)
 	cells, keys, matrixKey, err := MatrixCells(m)
 	if err != nil {
 		fail(http.StatusBadRequest, "%v", err)
@@ -188,7 +198,7 @@ func (s *Server) handleMatrix(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results <- s.runMatrixCell(ctx, i, cells[i], keys[i], m, deadline)
+				results <- s.runMatrixCell(ctx, i, cells[i], keys[i], m, deadline, tenant, class)
 			}
 		}()
 	}
@@ -244,7 +254,7 @@ func writeNDJSON(w io.Writer, v any) {
 // cells drain it — so the cell waits briefly and resubmits, bounded by
 // the request context. Cell snapshots travel without result bodies on
 // both flavors; results are fetched per job, once, by key-stable ID.
-func (s *Server) runMatrixCell(ctx context.Context, index int, req Request, key string, m MatrixRequest, deadline time.Duration) MatrixCell {
+func (s *Server) runMatrixCell(ctx context.Context, index int, req Request, key string, m MatrixRequest, deadline time.Duration, tenant string, class qos.Class) MatrixCell {
 	ni := len(m.Intensities)
 	cell := MatrixCell{
 		Index:     index,
@@ -253,7 +263,7 @@ func (s *Server) runMatrixCell(ctx context.Context, index int, req Request, key 
 		Intensity: m.Intensities[index%ni],
 	}
 	for {
-		j, snap, outcome, retryAfter := s.submitTracked(req, key, deadline)
+		j, snap, outcome, retryAfter := s.submitTracked(req, key, deadline, tenant, class)
 		switch outcome {
 		case outcomeCached:
 			cell.Cached = true
@@ -271,7 +281,12 @@ func (s *Server) runMatrixCell(ctx context.Context, index int, req Request, key 
 			// deadline; waiting longer can only make it worse.
 			cell.Error = fmt.Sprintf("deadline %s shorter than predicted queue wait %s", deadline, retryAfter.Round(time.Millisecond))
 			return cell
-		case outcomeQueueFull:
+		case outcomeQueueFull, outcomeTenantDepth, outcomeTenantRate:
+			// All three are backpressure this very batch created (earlier
+			// cells drain the shared queue, the tenant's depth cap, and
+			// refill its rate bucket): wait briefly and resubmit, bounded
+			// by the request context. Rejected resubmissions spend no rate
+			// tokens, so polling early costs nothing.
 			wait := retryAfter
 			if wait <= 0 || wait > 100*time.Millisecond {
 				wait = 100 * time.Millisecond

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"neofog"
+	"neofog/internal/qos"
 )
 
 // Config tunes a Server. The zero value is serviceable: GOMAXPROCS
@@ -26,6 +27,15 @@ type Config struct {
 	// QueueDepth bounds the number of jobs waiting for a worker; a full
 	// queue rejects new submissions with 429 (default 64).
 	QueueDepth int
+	// Tenants is the multi-tenant QoS policy: per-tenant weighted-fair
+	// scheduling shares, queue-depth caps, and token-bucket rate limits.
+	// Empty means one unlimited default tenant, which degenerates to
+	// plain FIFO — the pre-QoS behavior, byte for byte.
+	Tenants []qos.TenantConfig
+	// AssumedJobSeconds is deadline admission's cold-start prior: the
+	// service-time estimate used before any job has finished. 0 keeps
+	// the historical behavior (no latency signal → never reject).
+	AssumedJobSeconds float64
 	// CacheEntries bounds how many finished jobs (and so cached results)
 	// are retained; the oldest finished job is evicted first. Queued and
 	// running jobs are never evicted (default 1024).
@@ -139,7 +149,8 @@ type Server struct {
 	poisoned map[string]*poisonRecord
 	byKey    map[string]*job
 	order    []string // submission order of keys, for listing and eviction
-	queue    chan *job
+	sched    *qos.Scheduler[*job]
+	notEmpty *sync.Cond // signals workers on push and on drain start
 	running  int
 	draining bool
 
@@ -163,6 +174,18 @@ func New(cfg Config) (*Server, error) {
 		metrics:  newMetrics(),
 		byKey:    map[string]*job{},
 		poisoned: map[string]*poisonRecord{},
+	}
+	sched, err := qos.NewScheduler[*job](s.cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	s.sched = sched
+	s.notEmpty = sync.NewCond(&s.mu)
+	// Eager registration keeps the /metrics exposition deterministic
+	// from the first scrape: every configured tenant's families appear
+	// at zero before it has submitted anything.
+	for _, tc := range sched.Tenants() {
+		s.metrics.registerTenant(tc.Name)
 	}
 	if hook := s.cfg.ExecHook; hook != nil {
 		s.beforeExecute = func(j *job) { hook(j.key) }
@@ -193,7 +216,6 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.store.flushIndex()
 	}
-	s.queue = make(chan *job, s.cfg.QueueDepth)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -210,8 +232,10 @@ const (
 	outcomeDeduped
 	outcomeQueueFull
 	outcomeDraining
-	outcomeDeadline // predicted queue wait already exceeds the deadline
-	outcomePoisoned // key quarantined after repeated panics
+	outcomeDeadline    // predicted queue wait already exceeds the deadline
+	outcomePoisoned    // key quarantined after repeated panics
+	outcomeTenantDepth // the tenant's own queue-depth cap is full
+	outcomeTenantRate  // the tenant's token bucket is empty
 )
 
 // submit resolves one normalized request against the job store: answer
@@ -219,10 +243,12 @@ const (
 // run. The whole decision is one critical section, which is what makes
 // the deduplication single-flight — two identical concurrent
 // submissions cannot both observe "no such job". deadline is the
-// client's time budget (0 = none); the retryAfter return, when positive,
-// is the server's hint for when a rejected submission is worth retrying.
-func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, submitOutcome, time.Duration) {
-	_, snap, outcome, retryAfter := s.submitTracked(req, key, deadline)
+// client's time budget (0 = none); tenant is the submission's resolved
+// QoS identity and class its scheduling class; the retryAfter return,
+// when positive, is the server's hint for when a rejected submission is
+// worth retrying.
+func (s *Server) submit(req Request, key string, deadline time.Duration, tenant string, class qos.Class) (Job, submitOutcome, time.Duration) {
+	_, snap, outcome, retryAfter := s.submitTracked(req, key, deadline, tenant, class)
 	return snap, outcome, retryAfter
 }
 
@@ -230,7 +256,7 @@ func (s *Server) submit(req Request, key string, deadline time.Duration) (Job, s
 // callers that must wait on its completion channel (the matrix fan-out
 // holds the returned *job and selects on job.done). The pointer is nil
 // on every rejection outcome.
-func (s *Server) submitTracked(req Request, key string, deadline time.Duration) (*job, Job, submitOutcome, time.Duration) {
+func (s *Server) submitTracked(req Request, key string, deadline time.Duration, tenant string, class qos.Class) (*job, Job, submitOutcome, time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -238,7 +264,9 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration) 
 		s.metrics.inc("submit_rejected_draining_total", 1)
 		return nil, Job{}, outcomeDraining, 0
 	}
+	tenant = s.sched.Resolve(tenant)
 	s.metrics.inc("jobs_submitted_total", 1)
+	s.metrics.incTenantSubmitted(tenant)
 	now := s.cfg.Clock()
 
 	// Quarantine gate: a key whose runs keep panicking is rejected until
@@ -293,6 +321,27 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration) 
 		return nil, Job{}, outcomeDeadline, wait
 	}
 
+	// Tenant admission runs only for genuinely new work — cache and
+	// dedup hits above cost no queue slot and spend no rate token. The
+	// depth cap is checked before the rate bucket (inside Admit), so a
+	// depth rejection never burns a token; its retry hint is the
+	// predicted drain time, a rate rejection's is the bucket refill.
+	switch res, retry := s.sched.Admit(tenant, now); res {
+	case qos.RejectedDepth:
+		s.metrics.inc("submit_rejected_tenant_depth_total", 1)
+		s.metrics.incTenantRejected(tenant, "depth")
+		return nil, Job{}, outcomeTenantDepth, wait
+	case qos.RejectedRate:
+		s.metrics.inc("submit_rejected_tenant_rate_total", 1)
+		s.metrics.incTenantRejected(tenant, "rate")
+		return nil, Job{}, outcomeTenantRate, retry
+	}
+
+	if s.sched.Len() >= s.cfg.QueueDepth {
+		s.metrics.inc("submit_rejected_full_total", 1)
+		return nil, Job{}, outcomeQueueFull, wait
+	}
+
 	ctx, cancel := context.WithCancel(context.Background())
 	var dl time.Time
 	if deadline > 0 {
@@ -304,6 +353,8 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration) 
 		key:         key,
 		kind:        req.Kind,
 		req:         req,
+		tenant:      tenant,
+		class:       class,
 		status:      StatusQueued,
 		submittedAt: now,
 		deadline:    dl,
@@ -312,13 +363,8 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration) 
 		done:        make(chan struct{}),
 		bcast:       newBroadcaster(),
 	}
-	select {
-	case s.queue <- j:
-	default:
-		cancel()
-		s.metrics.inc("submit_rejected_full_total", 1)
-		return nil, Job{}, outcomeQueueFull, wait
-	}
+	s.sched.Push(tenant, class, j)
+	s.notEmpty.Signal()
 	if _, existed := s.byKey[key]; !existed {
 		s.order = append(s.order, key)
 	}
@@ -329,19 +375,24 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration) 
 }
 
 // predictedWaitLocked estimates how long a job enqueued now would wait
-// for a worker: queue-ahead batches times the observed mean job latency.
-// Before any job has finished (no latency signal) or with a free worker
-// and an empty queue, the estimate is zero — admission never rejects on
-// a guess it has no data for. Callers hold s.mu.
+// for a worker: queue-ahead batches times the observed mean job
+// latency. Before any job has finished, the configured cold-start prior
+// (AssumedJobSeconds) stands in for the mean; with neither signal nor
+// prior — or with a free worker and an empty queue — the estimate is
+// zero, and admission never rejects on a guess it has no data for.
+// Callers hold s.mu.
 func (s *Server) predictedWaitLocked() time.Duration {
 	mean := s.metrics.meanJobSeconds()
 	if mean == 0 {
+		mean = s.cfg.AssumedJobSeconds
+	}
+	if mean == 0 {
 		return 0
 	}
-	if len(s.queue) == 0 && s.running < s.cfg.Workers {
+	if s.sched.Len() == 0 && s.running < s.cfg.Workers {
 		return 0
 	}
-	batches := 1 + len(s.queue)/s.cfg.Workers
+	batches := 1 + s.sched.Len()/s.cfg.Workers
 	return time.Duration(float64(batches) * mean * float64(time.Second))
 }
 
@@ -417,11 +468,27 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-// worker drains the queue until Drain closes it.
+// worker pops scheduler dispatches until Drain empties the queue. The
+// scheduler replaces the old queue channel: workers pull the next job
+// under the server mutex — which is what makes dispatch order exactly
+// the scheduler's WFQ order — and park on the condition variable when
+// nothing is queued.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
+	s.mu.Lock()
+	for {
+		j, ok := s.sched.Pop()
+		if !ok {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			s.notEmpty.Wait()
+			continue
+		}
+		s.mu.Unlock()
 		s.runJob(j)
+		s.mu.Lock()
 	}
 }
 
@@ -461,6 +528,7 @@ func (s *Server) runJob(j *job) {
 	hook := s.beforeExecute
 	s.mu.Unlock()
 	s.metrics.inc("jobs_executed_total", 1)
+	s.metrics.incTenantExecuted(j.tenant)
 	j.bcast.publish("status", Job{ID: j.id, Key: j.key, Kind: j.kind, Status: StatusRunning})
 
 	result, err := s.executeGuarded(j, hook)
@@ -724,7 +792,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		return errors.New("serve: already draining")
 	}
 	s.draining = true
-	close(s.queue) // safe: submissions check draining under the same mutex
+	s.notEmpty.Broadcast() // wake parked workers so they observe draining
 	s.mu.Unlock()
 
 	done := make(chan struct{})
