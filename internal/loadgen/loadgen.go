@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"neofog"
+	"neofog/internal/qos"
 	"neofog/internal/serve"
 	"neofog/internal/wire"
 )
@@ -76,7 +77,13 @@ func ParseTenantMix(s string) ([]TenantShare, error) {
 				return nil, fmt.Errorf("loadgen: tenant mix entry %q: share must be a positive number", entry)
 			}
 		}
-		if len(parts) > 2 {
+		if len(parts) > 2 && parts[2] != "" {
+			// Validate eagerly: an unknown class would otherwise 400 every
+			// one of the tenant's submissions at run time — a typo in the
+			// mix flag must fail at parse, not poison the whole run.
+			if _, err := qos.ParseClass(parts[2]); err != nil {
+				return nil, fmt.Errorf("loadgen: tenant mix entry %q: %v", entry, err)
+			}
 			ts.Class = parts[2]
 		}
 		if len(parts) > 3 {

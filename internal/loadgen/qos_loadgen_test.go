@@ -119,10 +119,14 @@ func TestParseTenantMix(t *testing.T) {
 	if got, err := ParseTenantMix(""); err != nil || got != nil {
 		t.Fatalf("empty mix: %v, %v", got, err)
 	}
-	for _, bad := range []string{":3", "gold:-1", "gold:zero", "gold:1:bulk:extra"} {
+	for _, bad := range []string{":3", "gold:-1", "gold:zero", "gold:1:bulk:extra", "gold:1:bogus", "gold:1:Interactive"} {
 		if _, err := ParseTenantMix(bad); err == nil {
 			t.Errorf("ParseTenantMix(%q) accepted", bad)
 		}
+	}
+	// A trailing empty class part is tolerated like an empty share part.
+	if mix, err := ParseTenantMix("gold:2:"); err != nil || len(mix) != 1 || mix[0].Class != "" {
+		t.Fatalf("ParseTenantMix(gold:2:) = %+v, %v", mix, err)
 	}
 }
 

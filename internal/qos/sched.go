@@ -139,17 +139,24 @@ func (s *Scheduler[T]) TenantLen(tenant string) int {
 }
 
 // Push enqueues an item for a resolved tenant and class. A flow going
-// from idle to backlogged gets its start tag lifted to the plane's
-// current virtual time (it must not claim credit for the period it had
-// nothing to run), and its finish tag set one weighted cost later.
+// from idle to backlogged is re-tagged with start = max(vtime, its own
+// previous finish) — the standard start-time fair queueing rule: the
+// flow claims no credit for the period it had nothing to run (vtime),
+// but also cannot shed the cost of service it already received this
+// busy period (finish). Lifting only to vtime would let a tenant that
+// keeps exactly one job queued re-arrive forever at the head of the
+// plane and starve backlogged tenants. The finish tag is set one
+// weighted cost later.
 func (s *Scheduler[T]) Push(tenant string, class Class, v T) {
 	f := s.byName[s.Resolve(tenant)]
 	q := &f.queues[class]
 	if len(*q) == 0 {
-		if f.start[class] < s.vtime[class] {
-			f.start[class] = s.vtime[class]
+		start := s.vtime[class]
+		if f.finish[class] > start {
+			start = f.finish[class]
 		}
-		f.finish[class] = f.start[class] + 1/f.cfg.Weight
+		f.start[class] = start
+		f.finish[class] = start + 1/f.cfg.Weight
 	}
 	*q = append(*q, v)
 	f.queued++

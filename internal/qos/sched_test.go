@@ -176,6 +176,50 @@ func TestFairnessConvergesToWeights(t *testing.T) {
 	}
 }
 
+// TestCyclingFlowFairness covers the idle→backlogged re-tag rule: a
+// tenant that keeps exactly one job queued (resubmitting immediately
+// after each dispatch, so its subqueue empties on every pop) must not
+// outrun an equal-weight tenant with a standing backlog. Re-tagging
+// from vtime alone — instead of max(vtime, previous finish) — lets the
+// cycling flow re-arrive at the head of the plane forever and starve
+// the backlogged one.
+func TestCyclingFlowFairness(t *testing.T) {
+	s, err := NewScheduler[string]([]TenantConfig{
+		{Name: "cycler", Weight: 1},
+		{Name: "backlog", Weight: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewScheduler: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		s.Push("backlog", Interactive, "backlog")
+	}
+	s.Push("cycler", Interactive, "cycler")
+	const pops = 400
+	served := map[string]int{}
+	for i := 0; i < pops; i++ {
+		v, ok := s.Pop()
+		if !ok {
+			t.Fatalf("scheduler drained at pop %d", i)
+		}
+		served[v]++
+		// Both tenants stay busy: the cycler goes idle and immediately
+		// re-arrives; the backlogged tenant is topped back up.
+		if v == "cycler" {
+			s.Push("cycler", Interactive, "cycler")
+		} else {
+			s.Push("backlog", Interactive, "backlog")
+		}
+	}
+	for _, name := range []string{"cycler", "backlog"} {
+		share := float64(served[name]) / pops
+		if math.Abs(share-0.5) > 0.05 {
+			t.Fatalf("tenant %s served share %.4f, want 0.50 ±0.05 (served %v)",
+				name, share, served)
+		}
+	}
+}
+
 // TestStarvationFreedom bounds how long any backlogged tenant can go
 // unserved within a plane: between two consecutive dispatches of flow
 // i, each other flow j can be dispatched at most ceil(w_j/w_i)+1 times,

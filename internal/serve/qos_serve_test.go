@@ -305,6 +305,104 @@ func TestTenantRateLimit(t *testing.T) {
 	}
 }
 
+// TestQueueFullSpendsNoRateToken pins the admission check order: the
+// global queue-full rejection fires before the tenant rate bucket is
+// touched, so a tenant polling a full shared queue (as the matrix retry
+// loop does every 100ms) never drains its own bucket while waiting.
+// With the checks reversed, each rejection below would burn the
+// tenant's single burst token on the frozen clock and the post-drain
+// submission would bounce with a rate 429 it never earned.
+func TestQueueFullSpendsNoRateToken(t *testing.T) {
+	rec := newDispatchRecorder(simSeedKey(t, 160))
+	defer rec.release()
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 2,
+		Tenants:    []qos.TenantConfig{{Name: "metered", Rate: 1, Burst: 1}},
+		ExecHook:   rec.hook,
+	})
+
+	code, gated := postJob(t, ts, simSeedBody(160))
+	if code != http.StatusAccepted {
+		t.Fatalf("gate submit: status %d", code)
+	}
+	waitStatus(t, ts, gated.Job.ID, StatusRunning)
+
+	// Fill the shared queue with default-tenant work.
+	var queued []string
+	for _, seed := range []int64{161, 162} {
+		code, sub := postJob(t, ts, simSeedBody(seed))
+		if code != http.StatusAccepted {
+			t.Fatalf("backlog seed %d: status %d", seed, code)
+		}
+		queued = append(queued, sub.Job.ID)
+	}
+
+	// Poll the full queue as the metered tenant: every rejection must be
+	// the global queue-full one, reached without touching the bucket.
+	for i := 0; i < 3; i++ {
+		resp, body := postRaw(t, ts, "/v1/jobs?tenant=metered", simSeedBody(163))
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("poll %d: status %d body %s", i, resp.StatusCode, body)
+		}
+		if want := fmt.Sprintf("queue full (depth %d)", 2); !strings.Contains(string(body), want) {
+			t.Fatalf("poll %d body %s, want global %q rejection", i, body, want)
+		}
+	}
+
+	// Drain the queue; the metered tenant's burst token must be intact.
+	rec.release()
+	for _, id := range queued {
+		waitStatus(t, ts, id, StatusDone)
+	}
+	if resp, body := postRaw(t, ts, "/v1/jobs?tenant=metered", simSeedBody(163)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-drain submit: status %d body %s — queue-full polling burned a rate token", resp.StatusCode, body)
+	}
+}
+
+// TestTenantDepthRetryAfterScoped asserts a depth rejection's
+// Retry-After estimates the drain of the tenant's own subqueue, not the
+// whole shared queue: with one worker, a 10s prior, one job queued for
+// the capped tenant and five for an unrelated one, the hint must be
+// (1 + 1/1) × 10s = 20s — not the global (1 + 6/1) × 10s = 70s.
+func TestTenantDepthRetryAfterScoped(t *testing.T) {
+	rec := newDispatchRecorder(simSeedKey(t, 170))
+	defer rec.release()
+	_, ts := newTestServer(t, Config{
+		Workers:           1,
+		AssumedJobSeconds: 10,
+		Tenants:           []qos.TenantConfig{{Name: "capped", Depth: 1}},
+		ExecHook:          rec.hook,
+	})
+
+	code, gated := postJob(t, ts, simSeedBody(170))
+	if code != http.StatusAccepted {
+		t.Fatalf("gate submit: status %d", code)
+	}
+	waitStatus(t, ts, gated.Job.ID, StatusRunning)
+
+	// A busy unrelated tenant must not inflate capped's hint.
+	for _, seed := range []int64{171, 172, 173, 174, 175} {
+		if code, _ := postJob(t, ts, simSeedBody(seed)); code != http.StatusAccepted {
+			t.Fatalf("default backlog seed %d: status %d", seed, code)
+		}
+	}
+	if resp, body := postRaw(t, ts, "/v1/jobs?tenant=capped", simSeedBody(176)); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("capped submit: status %d body %s", resp.StatusCode, body)
+	}
+
+	resp, body := postRaw(t, ts, "/v1/jobs?tenant=capped", simSeedBody(177))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: status %d body %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `tenant \"capped\" queue full`) {
+		t.Fatalf("rejection body %s is not a depth rejection", body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "20" {
+		t.Fatalf("depth Retry-After %q, want tenant-scoped 20", got)
+	}
+}
+
 // TestColdStartAdmissionPrior is the satellite guard for deadline
 // admission on a cold server: before any job has finished, the
 // configured -assumed-job-seconds prior stands in for the (absent) mean

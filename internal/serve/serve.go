@@ -321,25 +321,33 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration, 
 		return nil, Job{}, outcomeDeadline, wait
 	}
 
+	// The global queue-full check runs before tenant admission: both it
+	// and the depth cap are side-effect free, so a submission turned
+	// away because the shared queue (or the tenant's slice of it) is
+	// full never burns a rate token — resubmitting after a full
+	// rejection costs the tenant nothing, which the matrix retry loop
+	// relies on. Only a genuinely enqueueable submission reaches the
+	// rate bucket.
+	if s.sched.Len() >= s.cfg.QueueDepth {
+		s.metrics.inc("submit_rejected_full_total", 1)
+		return nil, Job{}, outcomeQueueFull, wait
+	}
+
 	// Tenant admission runs only for genuinely new work — cache and
-	// dedup hits above cost no queue slot and spend no rate token. The
-	// depth cap is checked before the rate bucket (inside Admit), so a
-	// depth rejection never burns a token; its retry hint is the
-	// predicted drain time, a rate rejection's is the bucket refill.
+	// dedup hits above cost no queue slot and spend no rate token. A
+	// depth rejection's retry hint is the predicted drain time of the
+	// tenant's own subqueue (the global estimate would charge it for
+	// unrelated tenants' backlogs); a rate rejection's is the bucket
+	// refill.
 	switch res, retry := s.sched.Admit(tenant, now); res {
 	case qos.RejectedDepth:
 		s.metrics.inc("submit_rejected_tenant_depth_total", 1)
 		s.metrics.incTenantRejected(tenant, "depth")
-		return nil, Job{}, outcomeTenantDepth, wait
+		return nil, Job{}, outcomeTenantDepth, s.queuedWaitLocked(s.sched.TenantLen(tenant))
 	case qos.RejectedRate:
 		s.metrics.inc("submit_rejected_tenant_rate_total", 1)
 		s.metrics.incTenantRejected(tenant, "rate")
 		return nil, Job{}, outcomeTenantRate, retry
-	}
-
-	if s.sched.Len() >= s.cfg.QueueDepth {
-		s.metrics.inc("submit_rejected_full_total", 1)
-		return nil, Job{}, outcomeQueueFull, wait
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -382,6 +390,14 @@ func (s *Server) submitTracked(req Request, key string, deadline time.Duration, 
 // zero, and admission never rejects on a guess it has no data for.
 // Callers hold s.mu.
 func (s *Server) predictedWaitLocked() time.Duration {
+	return s.queuedWaitLocked(s.sched.Len())
+}
+
+// queuedWaitLocked is predictedWaitLocked generalized to an arbitrary
+// queued-item count — used with a tenant's own queue length to scope a
+// depth-rejection Retry-After to that tenant's backlog rather than the
+// whole shared queue. Callers hold s.mu.
+func (s *Server) queuedWaitLocked(queued int) time.Duration {
 	mean := s.metrics.meanJobSeconds()
 	if mean == 0 {
 		mean = s.cfg.AssumedJobSeconds
@@ -389,10 +405,10 @@ func (s *Server) predictedWaitLocked() time.Duration {
 	if mean == 0 {
 		return 0
 	}
-	if s.sched.Len() == 0 && s.running < s.cfg.Workers {
+	if queued == 0 && s.running < s.cfg.Workers {
 		return 0
 	}
-	batches := 1 + s.sched.Len()/s.cfg.Workers
+	batches := 1 + queued/s.cfg.Workers
 	return time.Duration(float64(batches) * mean * float64(time.Second))
 }
 
